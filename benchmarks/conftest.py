@@ -1,0 +1,40 @@
+"""Shared state for the figure/table regeneration benchmarks.
+
+One :class:`~repro.bench.harness.ExperimentEnv` is built per session: it
+materializes every dataset of Tables 3 and 4 once, and each benchmark
+draws its measurements from it. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(`-s` shows the regenerated paper-style tables and series).
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentEnv
+
+
+@pytest.fixture(scope="session")
+def env():
+    return ExperimentEnv(num_nodes=4)
+
+
+@pytest.fixture(scope="session")
+def time_sweeps(env):
+    """The Figure 10/11 measurement sweeps, computed once per session."""
+    from repro.bench.figures import run_time_sweep
+
+    return {
+        workload: run_time_sweep(env, workload)
+        for workload in ("pagerank", "sssp", "cc")
+    }
+
+
+def series_values(series, system):
+    """The numeric (non-FAIL) y-values of one figure series."""
+    return [y for _x, y in series[system] if y != "FAIL"]
+
+
+def fail_ratios(series, system):
+    """The x positions at which one system reports FAIL."""
+    return [x for x, y in series[system] if y == "FAIL"]

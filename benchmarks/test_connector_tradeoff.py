@@ -1,0 +1,27 @@
+"""Section 7.5's connector tradeoff (tech report [13], figure 9).
+
+The m-to-n partitioning *merging* connector is slightly faster on small
+clusters (no receiver-side re-grouping) but loses on larger clusters,
+where merging must coordinate one sorted stream per sender.
+"""
+
+from repro.bench.figures import connector_tradeoff
+
+
+def test_connector_tradeoff(env, benchmark):
+    series = benchmark.pedantic(
+        lambda: connector_tradeoff(env), rounds=1, iterations=1
+    )
+    unmerged = {x: y for x, y in series["m-to-n-partitioning"] if y != "FAIL"}
+    merged = {
+        x: y for x, y in series["m-to-n-partitioning-merging"] if y != "FAIL"
+    }
+    machines = sorted(unmerged)
+    smallest, largest = machines[0], machines[-1]
+    # Merging wins (or ties) on the smallest cluster...
+    assert merged[smallest] <= unmerged[smallest] * 1.05
+    # ...and loses on the largest.
+    assert merged[largest] > unmerged[largest]
+    # The relative cost of merging grows monotonically with cluster size.
+    relative = [merged[m] / unmerged[m] for m in machines]
+    assert relative == sorted(relative)

@@ -1,0 +1,60 @@
+"""Figure 10: overall execution time vs dataset/RAM, all systems.
+
+Shape assertions reproduce the caption: neither Giraph mode works past
+~0.15, GraphLab fails past ~0.07, Hama fails on even smaller datasets,
+GraphX cannot load BTC-Tiny — and Pregelix completes everywhere.
+"""
+
+from conftest import fail_ratios, series_values
+
+from repro.bench.figures import figure10
+
+
+def _series(time_sweeps, workload):
+    return figure10(time_sweeps[workload], workload)
+
+
+def test_figure10a_pagerank_webmap(time_sweeps, benchmark):
+    series = benchmark.pedantic(
+        lambda: _series(time_sweeps, "pagerank"), rounds=1, iterations=1
+    )
+    assert not fail_ratios(series, "pregelix")  # scales to out-of-core
+    # Giraph (both modes) dies only past ~0.15.
+    for system in ("giraph-mem", "giraph-ooc"):
+        failed = fail_ratios(series, system)
+        assert failed and min(failed) > 0.15
+    # GraphLab dies past ~0.07.
+    failed = fail_ratios(series, "graphlab")
+    assert failed and 0.07 < min(failed) < 0.15
+    # Hama fails on even smaller datasets than GraphLab.
+    assert min(fail_ratios(series, "hama")) < min(fail_ratios(series, "graphlab"))
+    # Execution time grows with data for every surviving system.
+    for system in ("pregelix", "giraph-mem"):
+        values = series_values(series, system)
+        assert values == sorted(values)
+
+
+def test_figure10b_sssp_btc(time_sweeps, benchmark):
+    series = benchmark.pedantic(
+        lambda: _series(time_sweeps, "sssp"), rounds=1, iterations=1
+    )
+    assert not fail_ratios(series, "pregelix")
+    for system in ("giraph-mem", "giraph-ooc"):
+        failed = fail_ratios(series, system)
+        assert failed and min(failed) > 0.15
+    failed = fail_ratios(series, "graphlab")
+    assert failed and 0.07 < min(failed) < 0.15
+    # GraphX fails to load even BTC-Tiny (the caption's observation).
+    assert len(fail_ratios(series, "graphx")) == len(series["graphx"])
+
+
+def test_figure10c_cc_btc(time_sweeps, benchmark):
+    series = benchmark.pedantic(
+        lambda: _series(time_sweeps, "cc"), rounds=1, iterations=1
+    )
+    assert not fail_ratios(series, "pregelix")
+    for system in ("giraph-mem", "giraph-ooc"):
+        assert min(fail_ratios(series, system)) > 0.15
+    assert len(fail_ratios(series, "graphx")) == len(series["graphx"])
+    # Hama survives only the smallest BTC sample.
+    assert len(fail_ratios(series, "hama")) == len(series["hama"]) - 1

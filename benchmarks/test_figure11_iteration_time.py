@@ -1,0 +1,68 @@
+"""Figure 11: average per-iteration time vs dataset/RAM, all systems.
+
+Shape assertions reproduce Section 7.2's relative claims: GraphLab is
+the fastest per-iteration engine on the smallest data; Giraph beats
+Pregelix on small in-memory PageRank but loses once data grows; the
+Pregelix *default* (full-outer-join) plan beats Giraph on message-sparse
+SSSP by several-fold even in memory.
+"""
+
+from conftest import fail_ratios, series_values
+
+from repro.bench.figures import figure11
+
+
+def test_figure11a_pagerank_webmap(time_sweeps, benchmark):
+    series = benchmark.pedantic(
+        lambda: figure11(time_sweeps["pagerank"], "pagerank"), rounds=1, iterations=1
+    )
+    pregelix = dict(series["pregelix"])
+    giraph = dict(series["giraph-mem"])
+    graphlab = dict(series["graphlab"])
+    smallest = min(pregelix)
+    # GraphLab is fastest per-iteration on the smallest dataset (up to
+    # 5x faster than Pregelix in the paper).
+    assert graphlab[smallest] < pregelix[smallest]
+    assert pregelix[smallest] / graphlab[smallest] < 6
+    # Giraph is up to ~2x faster than Pregelix on small in-memory data.
+    assert giraph[smallest] < pregelix[smallest] < 3 * giraph[smallest]
+    # At the largest ratio both survive, Pregelix wins (paper: ~2x).
+    shared = [x for x, y in series["giraph-mem"] if y != "FAIL"]
+    largest_shared = max(shared)
+    assert pregelix[largest_shared] < giraph[largest_shared]
+
+
+def test_figure11b_sssp_btc(time_sweeps, benchmark):
+    series = benchmark.pedantic(
+        lambda: figure11(time_sweeps["sssp"], "sssp"), rounds=1, iterations=1
+    )
+    pregelix = dict(series["pregelix"])
+    giraph = dict(series["giraph-mem"])
+    # The default plan gives a multi-x per-iteration speedup over Giraph
+    # on message-sparse SSSP (paper: up to 7x) at every shared point
+    # past the smallest.
+    shared = sorted(x for x, y in series["giraph-mem"] if y != "FAIL")
+    speedups = [giraph[x] / pregelix[x] for x in shared]
+    assert all(s > 1.5 for s in speedups)
+    assert max(speedups) > 4
+    # Giraph's size-scaling curve is steeper than Pregelix's.
+    giraph_growth = giraph[shared[-1]] / giraph[shared[0]]
+    pregelix_growth = pregelix[shared[-1]] / pregelix[shared[0]]
+    assert giraph_growth > pregelix_growth
+
+
+def test_figure11c_cc_btc(time_sweeps, benchmark):
+    series = benchmark.pedantic(
+        lambda: figure11(time_sweeps["cc"], "cc"), rounds=1, iterations=1
+    )
+    # Both Pregelix and Giraph run in-memory CC at comparable speed
+    # ("both systems perform similarly fast"): within ~4x at every
+    # shared point, with Pregelix ahead once data grows.
+    pregelix = dict(series["pregelix"])
+    giraph = dict(series["giraph-mem"])
+    shared = sorted(x for x, y in series["giraph-mem"] if y != "FAIL")
+    for x in shared:
+        ratio = pregelix[x] / giraph[x]
+        assert 0.2 < ratio < 4.0
+    assert not fail_ratios(series, "pregelix")
+    assert series_values(series, "pregelix")  # non-empty sanity

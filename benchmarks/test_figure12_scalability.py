@@ -1,0 +1,66 @@
+"""Figure 12: speedup and scale-up."""
+
+from repro.bench.figures import MACHINE_LADDER, figure12a, figure12b, figure12c
+
+
+def numeric(points):
+    return {x: y for x, y in points if y != "FAIL"}
+
+
+def test_figure12a_pregelix_speedup(env, benchmark):
+    series = benchmark.pedantic(
+        lambda: figure12a(env, sizes=("x-small", "small", "medium")),
+        rounds=1,
+        iterations=1,
+    )
+    ideal = numeric(series["ideal"])
+    for size in ("x-small", "small", "medium"):
+        points = numeric(series[size])
+        # Monotonically improving with machines, never much worse than
+        # ideal (the paper's "close to but slightly worse").
+        values = [points[m] for m in MACHINE_LADDER]
+        assert values == sorted(values, reverse=True)
+        for machines in MACHINE_LADDER[1:]:
+            assert points[machines] <= ideal[machines] * 1.45
+    # The in-memory-at-all-cluster-sizes dataset tracks the ideal line
+    # from below within 15% (larger sizes cross the out-of-core boundary
+    # at 8 machines, which makes their speedups super-linear — a
+    # documented deviation, see EXPERIMENTS.md).
+    points = numeric(series["x-small"])
+    for machines in MACHINE_LADDER[1:]:
+        assert points[machines] >= ideal[machines] * 0.85
+
+
+def test_figure12b_speedup_comparison(env, benchmark):
+    series = benchmark.pedantic(lambda: figure12b(env), rounds=1, iterations=1)
+    ideal = numeric(series["ideal"])
+    pregelix = numeric(series["pregelix"])
+    # Pregelix runs at every machine count; near-ideal speedup.
+    assert len(pregelix) == len(MACHINE_LADDER)
+    assert pregelix[32] <= ideal[32] * 1.3
+    # Giraph cannot run Webmap-X-Small on 8 machines (paper text).
+    giraph = dict(series["giraph-mem"])
+    assert giraph[8] == "FAIL"
+    # The baselines exhibit super-linear speedups (the paper explains
+    # them by super-linear degradation with per-node data volume).
+    for system in ("giraph-mem", "graphlab"):
+        points = numeric(series[system])
+        machines = sorted(points)
+        if len(machines) >= 2:
+            first, last = machines[0], machines[-1]
+            assert points[last] < (first / last) * 1.0  # better than ideal
+
+
+def test_figure12c_pregelix_scaleup(env, benchmark):
+    series = benchmark.pedantic(lambda: figure12c(env), rounds=1, iterations=1)
+    for workload in ("pagerank", "sssp", "cc"):
+        points = numeric(series[workload])
+        # Relative per-iteration time stays near 1.0: within 30% of
+        # ideal at full scale (network overhead keeps it above 1).
+        assert 0.7 <= points[1.0] <= 1.3
+    # SSSP sends the fewest messages, so it is closest to the ideal.
+    deviations = {
+        workload: abs(numeric(series[workload])[1.0] - 1.0)
+        for workload in ("pagerank", "sssp", "cc")
+    }
+    assert deviations["sssp"] == min(deviations.values())

@@ -1,0 +1,41 @@
+"""Figure 13: multi-user throughput (jobs per hour vs concurrency)."""
+
+from repro.bench.figures import figure13
+
+
+def pregelix_jph(panel):
+    return {jobs: jph for jobs, jph in panel["series"]["pregelix"]}
+
+
+def test_figure13_throughput(env, benchmark):
+    panels = benchmark.pedantic(
+        lambda: figure13(env, sizes=("x-small", "small", "medium", "large")),
+        rounds=1,
+        iterations=1,
+    )
+    # (a) X-Small, always in-memory: concurrency raises jph.
+    xsmall = pregelix_jph(panels["x-small"])
+    assert xsmall[2] > xsmall[1]
+    # (b) Small, in-memory to minor disk usage: still higher jph.
+    small = pregelix_jph(panels["small"])
+    assert small[2] > small[1]
+    # (c) Medium: the in-memory-to-disk boundary — jph DROPS with the
+    # second concurrent job (the paper's significant-I/O cliff).
+    medium = pregelix_jph(panels["medium"])
+    assert medium[2] < medium[1]
+    # The cliff is real I/O: per-job disk traffic grows with concurrency.
+    io = dict(panels["medium"]["per_job_io_bytes"])
+    assert io[2] > 1.3 * io[1]
+    # (d) Large, always disk-based: concurrency raises utilization + jph.
+    large = pregelix_jph(panels["large"])
+    assert large[2] > large[1]
+    # The baselines cannot sustain concurrent jobs in any panel.
+    for size, panel in panels.items():
+        for system in ("giraph-mem", "graphlab", "hama"):
+            values = dict(panel["series"][system])
+            assert values[2] == "FAIL" and values[3] == "FAIL"
+        # GraphX's admission control serializes jobs: flat jph when it
+        # can run the dataset at all.
+        graphx = dict(panel["series"]["graphx"])
+        if graphx[1] != "FAIL":
+            assert graphx[2] == graphx[1]

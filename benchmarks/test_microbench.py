@@ -1,0 +1,118 @@
+"""Classic micro-benchmarks of the storage and operator substrate.
+
+These measure real Python wall time of the hot data structures (what
+pytest-benchmark is built for), complementing the figure regenerations.
+"""
+
+import random
+
+import pytest
+
+from repro.common.accounting import IOCounters
+from repro.common.serde import encode_key
+from repro.common import serde
+from repro.hyracks.storage.btree import BTree
+from repro.hyracks.storage.buffer_cache import BufferCache
+from repro.hyracks.storage.file_manager import FileManager
+from repro.hyracks.storage.lsm_btree import LSMBTree
+
+N = 2000
+
+
+@pytest.fixture
+def cache(tmp_path):
+    files = FileManager(str(tmp_path / "n0"), IOCounters())
+    yield BufferCache(1 << 22, 4096, files)
+    files.destroy()
+
+
+def loaded_btree(cache, n=N):
+    tree = BTree(cache)
+    tree.bulk_load((encode_key(i), b"v%08d" % i) for i in range(n))
+    return tree
+
+
+def test_btree_random_inserts(cache, benchmark):
+    ids = list(range(N))
+    random.Random(1).shuffle(ids)
+
+    def insert_all():
+        tree = BTree(cache)
+        for i in ids:
+            tree.insert(encode_key(i), b"value-%08d" % i)
+        return tree
+
+    tree = benchmark.pedantic(insert_all, rounds=3, iterations=1)
+    assert len(tree) == N
+
+
+def test_btree_point_lookups(cache, benchmark):
+    tree = loaded_btree(cache)
+    keys = [encode_key(i) for i in range(0, N, 7)]
+
+    def lookups():
+        return sum(1 for key in keys if tree.lookup(key) is not None)
+
+    assert benchmark(lookups) == len(keys)
+
+
+def test_btree_full_scan(cache, benchmark):
+    tree = loaded_btree(cache)
+
+    def scan():
+        return sum(1 for _ in tree.scan())
+
+    assert benchmark(scan) == N
+
+
+def test_btree_bulk_load(cache, benchmark):
+    pairs = [(encode_key(i), b"v%08d" % i) for i in range(N)]
+
+    def load():
+        tree = BTree(cache)
+        tree.bulk_load(pairs)
+        return tree
+
+    tree = benchmark.pedantic(load, rounds=3, iterations=1)
+    assert len(tree) == N
+
+
+def test_lsm_insert_heavy(cache, benchmark):
+    def churn():
+        lsm = LSMBTree(cache, memory_budget_bytes=1 << 14)
+        for i in range(N):
+            lsm.insert(encode_key(i % 500), b"v%08d" % i)
+        return lsm
+
+    lsm = benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert lsm.lookup(encode_key(3)) is not None
+
+
+def test_serde_vertex_roundtrip(benchmark):
+    from repro.pregelix.types import VertexRecord, encode_vertex, decode_vertex, vertex_value_serde
+
+    codec = vertex_value_serde(serde.FLOAT64, serde.FLOAT64)
+    record = VertexRecord(vid=7, halt=False, value=0.5, edges=[(i, 1.0) for i in range(10)])
+
+    def roundtrip():
+        return decode_vertex(codec, 7, encode_vertex(codec, record))
+
+    assert benchmark(roundtrip).vid == 7
+
+
+def test_external_sort_with_spill(tmp_path, benchmark):
+    from repro.hyracks.engine import HyracksCluster, JobContext, TaskContext
+    from repro.hyracks.operators.sort import ExternalSortOperator
+
+    cluster = HyracksCluster(num_nodes=1, root_dir=str(tmp_path / "c"))
+    ctx = TaskContext(cluster.nodes["node0"], JobContext("bench"), 0, 1)
+    pair = serde.PairSerde(serde.INT64, serde.FLOAT64)
+    data = [(i * 2654435761 % N, float(i)) for i in range(N)]
+    op = ExternalSortOperator(lambda t: encode_key(t[0]), pair, memory_limit_bytes=1 << 12)
+
+    def sort():
+        return op.run(ctx, 0, [list(data)])[op.OUT]
+
+    result = benchmark.pedantic(sort, rounds=3, iterations=1)
+    assert len(result) == N
+    cluster.close()

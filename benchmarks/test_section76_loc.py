@@ -1,0 +1,14 @@
+"""Section 7.6: software simplicity (lines of code)."""
+
+from repro.bench.figures import section76_loc
+
+
+def test_section76_loc(benchmark):
+    report = benchmark.pedantic(section76_loc, rounds=1, iterations=1)
+    # The Pregel-specific layer is a fraction of the infrastructure a
+    # custom-constructed runtime must own (the paper's Giraph-core is
+    # 3.8x the Pregelix core).
+    assert report["pregelix_core"] > 0
+    assert report["leveraged_infrastructure"] > report["pregelix_core"]
+    total = report["pregelix_core"] + report["leveraged_infrastructure"]
+    assert total / report["pregelix_core"] > 2.0

@@ -1,0 +1,23 @@
+"""Table 3: the Webmap dataset and its samples."""
+
+
+def test_table3_webmap(env, benchmark):
+    rows = benchmark.pedantic(
+        lambda: __import__("repro.bench.figures", fromlist=["table3"]).table3(env),
+        rounds=1,
+        iterations=1,
+    )
+    # Large .. Tiny, strictly shrinking like the paper's ladder.
+    sizes = [row["size_bytes"] for row in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    vertices = [row["num_vertices"] for row in rows]
+    assert vertices == sorted(vertices, reverse=True)
+    # The simulated ladder preserves the paper's relative sizes within 15%.
+    large = rows[0]
+    for row in rows[1:]:
+        ours = row["size_bytes"] / large["size_bytes"]
+        paper = row["paper_size_gb"] / large["paper_size_gb"]
+        assert abs(ours - paper) / paper < 0.15
+    # Average degrees track Table 3's within 30% (generators are random).
+    for row in rows:
+        assert abs(row["avg_degree"] - row["paper_avg_degree"]) / row["paper_avg_degree"] < 0.35

@@ -1,0 +1,22 @@
+"""Table 4: the BTC dataset and its samples/scale-ups."""
+
+import pytest
+
+
+def test_table4_btc(env, benchmark):
+    from repro.bench.figures import table4
+
+    rows = benchmark.pedantic(lambda: table4(env), rounds=1, iterations=1)
+    sizes = [row["size_bytes"] for row in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    # The defining Table 4 property: constant average degree across the
+    # samples and scale-ups (8.94 in the paper), except Tiny (5.64).
+    degrees = {row["name"]: row["avg_degree"] for row in rows}
+    for name in ("large", "medium", "small", "x-small"):
+        assert degrees[name] == pytest.approx(8.94, rel=0.05)
+    assert degrees["tiny"] == pytest.approx(5.64, rel=0.1)
+    # Scale-ups are exact copies: Small is 2x X-Small, Medium 3x, Large 4x.
+    by_name = {row["name"]: row for row in rows}
+    for name, factor in (("small", 2), ("medium", 3), ("large", 4)):
+        assert by_name[name]["num_vertices"] == factor * by_name["x-small"]["num_vertices"]
+        assert by_name[name]["num_edges"] == factor * by_name["x-small"]["num_edges"]

@@ -1,0 +1,60 @@
+"""Physical plan flexibility: SSSP under both join strategies.
+
+Reproduces the scenario of the paper's Figure 9 and Section 7.5: single
+source shortest paths is *message-sparse*, so the plan hints matter.
+The script runs the same SSSP job with the index full-outer-join plan
+(the default) and with Figure 9's hints (left outer join + HashSort
+group-by + non-merging connector) and compares the work each plan did.
+
+    python examples/shortest_paths_plans.py
+"""
+
+from repro.algorithms import sssp
+from repro.graphs.generators import btc_graph
+from repro.graphs.io import write_graph_to_dfs
+from repro.hdfs import MiniDFS
+from repro.hyracks.engine import HyracksCluster
+from repro.pregelix import GroupByStrategy, JoinStrategy, PregelixDriver
+
+
+def run_plan(driver, join_strategy, groupby_strategy, label):
+    job = sssp.build_job(
+        source_id=0,
+        join_strategy=join_strategy,
+        groupby_strategy=groupby_strategy,
+    )
+    outcome = driver.run(job, "/input/btc", output_path="/output/%s" % label)
+    scanned = sum(s.join_tuples for s in outcome.stats.supersteps)
+    probed = sum(s.index_probes for s in outcome.stats.supersteps)
+    processed = sum(s.vertices_processed for s in outcome.stats.supersteps)
+    print(
+        "%-28s supersteps=%d  tuples-touched=%d  probes=%d  computes=%d"
+        % (job.plan_signature(), outcome.supersteps, scanned, probed, processed)
+    )
+    return sorted(driver.read_output("/output/%s" % label))
+
+
+def main():
+    cluster = HyracksCluster(num_nodes=4)
+    dfs = MiniDFS(datanodes=cluster.node_ids())
+    write_graph_to_dfs(dfs, "/input/btc", btc_graph(3000, seed=11))
+    driver = PregelixDriver(cluster, dfs)
+
+    print("SSSP on a 3,000-vertex semantic-web-shaped graph:\n")
+    foj = run_plan(driver, JoinStrategy.FULL_OUTER, GroupByStrategy.SORT, "foj")
+    loj = run_plan(driver, JoinStrategy.LEFT_OUTER, GroupByStrategy.HASHSORT, "loj")
+
+    assert foj == loj, "both physical plans must compute identical distances"
+    print(
+        "\nBoth plans produced identical distances for %d vertices." % len(foj)
+    )
+    print(
+        "The left-outer-join plan touched only the live frontier each "
+        "superstep,\nwhile the full-outer-join plan re-scanned the whole "
+        "vertex index — the\ntradeoff behind the paper's Figure 14(a)."
+    )
+    cluster.close()
+
+
+if __name__ == "__main__":
+    main()

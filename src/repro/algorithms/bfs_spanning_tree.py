@@ -1,0 +1,71 @@
+"""BFS spanning tree (the Hong Kong group's building block, Section 6).
+
+Each vertex records its parent in a breadth-first spanning tree rooted
+at the configured source. The min-combiner makes parent choice
+deterministic: among same-level candidates the smallest id wins.
+"""
+
+from repro.common import serde
+from repro.graphs.io import typed_formatter, typed_parser
+from repro.pregelix.api import (
+    ConnectorPolicy,
+    GroupByStrategy,
+    JoinStrategy,
+    MinCombiner,
+    PregelixJob,
+    Vertex,
+)
+
+#: Config key for the BFS root.
+ROOT = "pregelix.bfs.root"
+
+_UNSET = -1
+
+
+class BFSSpanningTreeVertex(Vertex):
+    """Value is the parent vertex id (root's parent is itself)."""
+
+    def configure(self, config):
+        self.root = int(config.get(ROOT, 0))
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            if self.vertex_id == self.root:
+                self.value = self.vertex_id
+                self.send_message_to_all_edges(self.vertex_id)
+            else:
+                self.value = _UNSET
+            self.vote_to_halt()
+            return
+        if self.value is None:
+            self.value = _UNSET  # auto-created vertices have no parent yet
+        if self.value == _UNSET:
+            parent = min(messages, default=_UNSET)
+            if parent != _UNSET:
+                self.value = parent
+                self.send_message_to_all_edges(self.vertex_id)
+        self.vote_to_halt()
+
+
+def build_job(root=0, **overrides):
+    """A configured BFS spanning tree job (frontier workload hints)."""
+    defaults = dict(
+        join_strategy=JoinStrategy.LEFT_OUTER,
+        groupby_strategy=GroupByStrategy.HASHSORT,
+        connector_policy=ConnectorPolicy.UNMERGED,
+    )
+    defaults.update(overrides)
+    return PregelixJob(
+        name="bfs-spanning-tree",
+        vertex_class=BFSSpanningTreeVertex,
+        value_serde=serde.INT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.INT64,
+        combiner=MinCombiner(),
+        config={ROOT: root},
+        **defaults,
+    )
+
+
+parse_line = typed_parser(int)
+format_record = typed_formatter(str)

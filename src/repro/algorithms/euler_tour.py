@@ -1,0 +1,115 @@
+"""Euler tours and tree pre-ordering (the remaining §6 building blocks).
+
+The paper's Hong Kong user group built "Euler tour, list ranking, and
+pre/post-ordering" on Pregelix as composable blocks. This module supplies
+the composition: a rooted tree's Euler tour is a linked list over the
+tree's *arcs* (each undirected edge contributes two directed arcs), whose
+successor function is a purely local computation — after arc ``(u, v)``
+the tour continues with ``(v, w)`` where ``w`` is the neighbor of ``v``
+following ``u`` in ``v``'s cyclic adjacency order. Ranking that list with
+the pointer-jumping job of :mod:`repro.algorithms.list_ranking` yields
+tour positions, and the first *entry* arc of each vertex gives its DFS
+pre-order number (children visited in adjacency order).
+
+:func:`compute_preorder` runs the whole composition on a driver.
+"""
+
+from repro.algorithms import list_ranking
+
+#: Marks the tour's broken end (the tour is a cycle; ranking needs a tail).
+_NIL = -1
+
+
+def build_arc_graph(tree_vertices, root=0):
+    """Build the Euler-tour linked list over a tree's arcs.
+
+    :param tree_vertices: ``(vid, value, edges)`` tuples of an undirected
+        tree (both directions of every edge present).
+    :param root: tour start vertex.
+    :returns: ``(arc_vertices, arcs, start_arc)`` where ``arc_vertices``
+        is a linked-list graph for the list-ranking job, ``arcs`` maps
+        arc id to ``(u, v)``, and ``start_arc`` is the tour's first arc.
+    """
+    adjacency = {}
+    for vid, _value, edges in tree_vertices:
+        adjacency[vid] = sorted({dest for dest, _w in edges})
+    if root not in adjacency:
+        raise ValueError("root %r is not a vertex of the tree" % (root,))
+    if not adjacency[root]:
+        # A single-vertex tree has an empty tour.
+        return [], {}, None
+
+    arc_ids = {}
+    arcs = {}
+    for u in sorted(adjacency):
+        for v in adjacency[u]:
+            arc_ids[(u, v)] = len(arcs)
+            arcs[len(arcs)] = (u, v)
+
+    def successor(u, v):
+        neighbors = adjacency[v]
+        index = neighbors.index(u)
+        w = neighbors[(index + 1) % len(neighbors)]
+        return (v, w)
+
+    start = (root, adjacency[root][0])
+    start_id = arc_ids[start]
+    arc_vertices = []
+    for arc_id, (u, v) in sorted(arcs.items()):
+        succ = arc_ids[successor(u, v)]
+        if succ == start_id:
+            # Break the Euler cycle into a list ending at this arc.
+            arc_vertices.append((arc_id, None, []))
+        else:
+            arc_vertices.append((arc_id, None, [(succ, 1.0)]))
+    return arc_vertices, arcs, start_id
+
+
+def preorder_from_ranks(ranks, arcs, root):
+    """DFS pre-order numbers from list-ranking output.
+
+    :param ranks: ``{arc_id: distance to tour end}`` (the ranking job's
+        output over the arc graph).
+    :param arcs: ``{arc_id: (u, v)}``.
+    :param root: the tour's root vertex.
+    :returns: ``{vertex: preorder_number}`` with ``root -> 0``.
+    """
+    if not arcs:
+        return {root: 0}
+    num_arcs = len(arcs)
+    first_entry = {}
+    for arc_id, (u, v) in arcs.items():
+        position = (num_arcs - 1) - ranks[arc_id]
+        if v not in first_entry or position < first_entry[v]:
+            first_entry[v] = position
+    first_entry[root] = -1  # the root is visited before any arc
+    ordered = sorted(first_entry, key=lambda vertex: first_entry[vertex])
+    return {vertex: number for number, vertex in enumerate(ordered)}
+
+
+def compute_preorder(driver, tree_vertices, root=0, workspace="/euler"):
+    """Run the full composition on a Pregelix driver.
+
+    Builds the arc linked list, ranks it with the pointer-jumping job,
+    and returns ``{vertex: preorder_number}``.
+    """
+    from repro.graphs.io import write_graph_to_dfs
+
+    arc_vertices, arcs, _start = build_arc_graph(tree_vertices, root)
+    if not arcs:
+        return {root: 0}
+    write_graph_to_dfs(
+        driver.dfs, "%s/arcs" % workspace, iter(arc_vertices), num_files=2
+    )
+    driver.run(
+        list_ranking.build_job(),
+        "%s/arcs" % workspace,
+        output_path="%s/ranks" % workspace,
+        parse_line=list_ranking.parse_line,
+        format_record=list_ranking.format_record,
+    )
+    ranks = {}
+    for line in driver.read_output("%s/ranks" % workspace):
+        arc_id, rank = (int(x) for x in line.split())
+        ranks[arc_id] = rank
+    return preorder_from_ranks(ranks, arcs, root)

@@ -1,0 +1,152 @@
+"""Path merging — the Genomix-style graph cleaning workload (Section 6).
+
+A genome assembler's De Bruijn graph is dominated by long single paths;
+the assembler repeatedly merges each unbranched path into one vertex.
+This is the paper's showcase for graph mutations (vertex removal) and
+for LSM B-tree vertex storage (vertex payloads grow as paths merge).
+
+Protocol (two supersteps per round):
+
+* **Phase A** (odd supersteps): a vertex with exactly one out-edge
+  announces itself to its successor. Vertices also absorb any
+  ``MERGE_DATA`` shipped to them in the previous phase.
+* **Phase B** (even supersteps): a vertex with exactly one announced
+  predecessor is mergeable. A round-salted coin (head for the
+  predecessor, tail for the successor) picks non-overlapping pairs so
+  chains cannot merge into a vertex that is itself being deleted; the
+  chosen successor ships its accumulated length and edges to the
+  predecessor and requests its own removal.
+
+The global aggregate carries the number of mergeable pairs seen in the
+last phase B; when it reaches zero, phase A stops announcing and the
+computation quiesces.
+"""
+
+from repro.common import serde
+from repro.graphs.io import typed_formatter, typed_parser
+from repro.pregelix.api import (
+    DefaultListCombiner,
+    GlobalAggregator,
+    PregelixJob,
+    Vertex,
+    VertexStorage,
+)
+
+#: Config key: coin salt for pair selection.
+SEED = "pregelix.pathmerge.seed"
+
+_PRED_ANNOUNCE = 0
+_MERGE_DATA = 1
+
+
+class MergeableCountAggregator(GlobalAggregator):
+    """Counts mergeable pairs per round (0 means the graph is clean)."""
+
+    def init(self):
+        return 0
+
+    def accumulate(self, state, contribution):
+        return state + contribution
+
+    def merge(self, left, right):
+        return left + right
+
+    def value_serde(self):
+        return serde.INT64
+
+
+class PathMergingVertex(Vertex):
+    """Value is the number of original vertices merged into this one."""
+
+    def configure(self, config):
+        self.seed = int(config.get(SEED, 17))
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            self.value = 1
+        if self.superstep % 2 == 1:
+            self._phase_a(messages)
+        else:
+            self._phase_b(messages)
+        # Vertices stay active across rounds (only quiescence halts them):
+        # a halted vertex could not re-announce in later rounds.
+
+    # ------------------------------------------------------------------
+    def _phase_a(self, messages):
+        """Absorb shipped merge data, then announce to the successor."""
+        for kind, _sender, length, edges in messages:
+            if kind != _MERGE_DATA:
+                continue
+            self.value = (self.value or 1) + length
+            self.set_edges(edges)
+        quiesced = (
+            self.superstep > 2
+            and (self.global_aggregate is None or self.global_aggregate == 0)
+        )
+        if quiesced:
+            self.vote_to_halt()
+            return
+        if len(self.edges) == 1:
+            self.send_message(
+                self.edges[0].target, (_PRED_ANNOUNCE, self.vertex_id, 0, [])
+            )
+
+    def _phase_b(self, messages):
+        """Decide whether to merge into the unique announced predecessor."""
+        preds = [sender for kind, sender, _l, _e in messages if kind == _PRED_ANNOUNCE]
+        if len(preds) != 1:
+            return
+        pred = preds[0]
+        self.aggregate(1)  # one mergeable pair observed this round
+        round_number = self.superstep // 2
+        if self._coin(pred, round_number) != 0 or self._coin(self.vertex_id, round_number) != 1:
+            return
+        self.send_message(
+            pred,
+            (
+                _MERGE_DATA,
+                self.vertex_id,
+                self.value or 1,
+                [tuple(edge) for edge in self.edges],
+            ),
+        )
+        self.remove_vertex(self.vertex_id)
+
+    def _coin(self, vid, round_number):
+        # A splitmix64-style finalizer: Python's built-in tuple hash has
+        # correlated low bits for nearby integers, which can freeze a
+        # pair's head/tail coins in lockstep for thousands of rounds.
+        x = (
+            vid * 0x9E3779B97F4A7C15
+            + round_number * 0xBF58476D1CE4E5B9
+            + self.seed * 0x94D049BB133111EB
+        ) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        x = (x * 0xD6E8FEB86659FD93) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 29
+        return x & 1
+
+
+def build_job(seed=17, vertex_storage=VertexStorage.LSM_BTREE, **overrides):
+    """A configured path-merging job (LSM storage by default)."""
+    message_serde = serde.TupleSerde(
+        serde.INT64,
+        serde.INT64,
+        serde.INT64,
+        serde.ListSerde(serde.PairSerde(serde.INT64, serde.FLOAT64)),
+    )
+    return PregelixJob(
+        name="path-merging",
+        vertex_class=PathMergingVertex,
+        value_serde=serde.INT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=message_serde,
+        combiner=DefaultListCombiner(),
+        aggregator=MergeableCountAggregator(),
+        vertex_storage=vertex_storage,
+        **overrides,
+    )
+
+
+parse_line = typed_parser(int)
+format_record = typed_formatter(str)

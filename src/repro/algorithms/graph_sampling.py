@@ -1,0 +1,73 @@
+"""Random-walk-based graph sampling on Pregelix (built-in library).
+
+This is the sampler the paper used to build the Webmap down-samples
+(footnote 7). A configurable number of walkers start at hash-selected
+vertices; each superstep a vertex receiving walkers marks itself visited
+and forwards each walker (with a decremented hop budget) to a
+pseudo-randomly chosen neighbor. The visited set is the sample.
+"""
+
+import random
+
+from repro.common import serde
+from repro.graphs.io import typed_formatter, typed_parser
+from repro.pregelix.api import DefaultListCombiner, PregelixJob, Vertex
+
+#: Config keys.
+NUM_WALKERS = "pregelix.sampling.walkers"
+WALK_LENGTH = "pregelix.sampling.walkLength"
+SEED = "pregelix.sampling.seed"
+
+
+class RandomWalkSampleVertex(Vertex):
+    """Value is 1 when any walker visited the vertex, else 0."""
+
+    def configure(self, config):
+        self.num_walkers = int(config.get(NUM_WALKERS, 8))
+        self.walk_length = int(config.get(WALK_LENGTH, 10))
+        self.seed = int(config.get(SEED, 0))
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            # Walkers start at deterministically hash-selected vertices.
+            starts_here = (
+                hash((self.seed, self.vertex_id)) % max(self.num_vertices, 1)
+                < self.num_walkers
+            )
+            self.value = 1 if starts_here else 0
+            if starts_here:
+                self._forward_walker(self.walk_length)
+            self.vote_to_halt()
+            return
+        for remaining in messages:
+            self.value = 1
+            if remaining > 0:
+                self._forward_walker(remaining)
+        self.vote_to_halt()
+
+    def _forward_walker(self, remaining):
+        if not self.edges:
+            return
+        rng = random.Random(
+            hash((self.seed, self.vertex_id, self.superstep, remaining))
+        )
+        edge = self.edges[rng.randrange(len(self.edges))]
+        self.send_message(edge.target, remaining - 1)
+
+
+def build_job(num_walkers=8, walk_length=10, seed=0, **overrides):
+    """A configured random-walk sampling job."""
+    return PregelixJob(
+        name="random-walk-sampling",
+        vertex_class=RandomWalkSampleVertex,
+        value_serde=serde.INT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.INT64,
+        combiner=DefaultListCombiner(),
+        config={NUM_WALKERS: num_walkers, WALK_LENGTH: walk_length, SEED: seed},
+        **overrides,
+    )
+
+
+parse_line = typed_parser(int)
+format_record = typed_formatter(str)

@@ -1,0 +1,84 @@
+"""List ranking by pointer jumping (the Hong Kong building block).
+
+Section 6 lists "list ranking" among the graph-algorithm building blocks
+a research group implemented on Pregelix (it underlies Euler tours and
+pre/post-ordering). The input is a linked list embedded in the graph:
+each vertex has at most one out-edge to its successor. The output is
+each vertex's *rank* — its distance to the end of the list.
+
+Pointer jumping doubles the distance covered per round: every vertex
+``v`` asks its current successor ``s`` for ``(s.successor, s.rank)`` and
+then sets ``v.rank += s.rank``, ``v.successor = s.successor``. With two
+supersteps per round (request, response), the list is ranked in
+``O(log n)`` rounds — the paper community's motivation for running it on
+a Pregel system rather than sequentially.
+
+The vertex value is ``(successor, rank)``; the tail has successor -1.
+"""
+
+from repro.common import serde
+from repro.pregelix.api import DefaultListCombiner, PregelixJob, Vertex
+
+_NIL = -1
+_KIND_REQUEST = 0  # payload: requester id
+_KIND_RESPONSE = 1  # payload: (my successor, my rank)
+
+
+class ListRankingVertex(Vertex):
+    """Value: ``(successor, rank)``."""
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            successor = self.edges[0].target if self.edges else _NIL
+            rank = 1 if self.edges else 0
+            self.value = (successor, rank)
+            if successor != _NIL:
+                self.send_message(successor, (_KIND_REQUEST, self.vertex_id, 0))
+            self.vote_to_halt()
+            return
+
+        successor, rank = self.value
+        responses = []
+        for kind, a, b in messages:
+            if kind == _KIND_REQUEST:
+                # Answer with my current pointer and rank; my own state
+                # is unchanged by being asked.
+                self.send_message(a, (_KIND_RESPONSE, successor, rank))
+            else:
+                responses.append((a, b))
+        if responses:
+            # One request per round means at most one response.
+            next_successor, next_rank = responses[0]
+            rank += next_rank
+            successor = next_successor
+            self.value = (successor, rank)
+            if successor != _NIL:
+                self.send_message(successor, (_KIND_REQUEST, self.vertex_id, 0))
+        self.vote_to_halt()
+
+
+def build_job(**overrides):
+    """A configured list-ranking job."""
+    return PregelixJob(
+        name="list-ranking",
+        vertex_class=ListRankingVertex,
+        value_serde=serde.TupleSerde(serde.INT64, serde.INT64),
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.TupleSerde(serde.INT64, serde.INT64, serde.INT64),
+        combiner=DefaultListCombiner(),
+        **overrides,
+    )
+
+
+def parse_line(line):
+    """Values in the input are ignored (initialized in superstep 1)."""
+    from repro.graphs.io import parse_adjacency_line
+
+    vid, _value, edges = parse_adjacency_line(line, value_parser=str)
+    return vid, None, edges
+
+
+def format_record(record):
+    """Output one line per vertex: ``vid rank``."""
+    rank = record.value[1] if record.value else 0
+    return "%d %d" % (record.vid, rank)

@@ -1,0 +1,104 @@
+"""Maximal cliques via per-vertex ego networks (built-in library).
+
+Superstep 1 ships each vertex's adjacency set to its neighbors;
+superstep 2 runs Bron–Kerbosch (with pivoting) inside each vertex's ego
+network. To avoid reporting a clique once per member, a vertex only
+counts cliques in which it is the minimum id. The vertex value becomes
+the size of the largest maximal clique anchored at the vertex, and the
+global aggregate counts maximal cliques overall.
+"""
+
+from repro.common import serde
+from repro.graphs.io import typed_formatter, typed_parser
+from repro.pregelix.api import DefaultListCombiner, GlobalAggregator, PregelixJob, Vertex
+
+
+class CliqueCountAggregator(GlobalAggregator):
+    """Counts maximal cliques (of size >= 3) across the graph."""
+
+    def init(self):
+        return 0
+
+    def accumulate(self, state, contribution):
+        return state + contribution
+
+    def merge(self, left, right):
+        return left + right
+
+    def value_serde(self):
+        return serde.INT64
+
+
+class MaximalCliquesVertex(Vertex):
+    """Value is the largest maximal clique size anchored at this vertex."""
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            self.value = 0
+            neighbors = sorted({e.target for e in self.edges})
+            payload = [self.vertex_id] + neighbors
+            for target in neighbors:
+                self.send_message(target, payload)
+            self.vote_to_halt()
+            return
+        if self.superstep == 2:
+            adjacency = {}
+            for payload in messages:
+                sender, neighbor_list = payload[0], payload[1:]
+                adjacency[sender] = set(neighbor_list)
+            mine = {e.target for e in self.edges}
+            adjacency[self.vertex_id] = mine
+            # Ego network: this vertex plus neighbors we heard from.
+            members = set(adjacency) & (mine | {self.vertex_id})
+            members.add(self.vertex_id)
+            cliques = list(
+                _bron_kerbosch(
+                    r=set(),
+                    p=set(members),
+                    x=set(),
+                    adjacency={v: adjacency.get(v, set()) & members for v in members},
+                )
+            )
+            anchored = [
+                clique
+                for clique in cliques
+                if len(clique) >= 3
+                and self.vertex_id in clique
+                and min(clique) == self.vertex_id
+            ]
+            self.value = max((len(c) for c in anchored), default=0)
+            if anchored:
+                self.aggregate(len(anchored))
+        self.vote_to_halt()
+
+
+def _bron_kerbosch(r, p, x, adjacency):
+    """Classic Bron-Kerbosch with pivoting over a small ego network."""
+    if not p and not x:
+        yield frozenset(r)
+        return
+    pivot = max(p | x, key=lambda v: len(adjacency[v] & p))
+    for v in list(p - adjacency[pivot]):
+        yield from _bron_kerbosch(
+            r | {v}, p & adjacency[v], x & adjacency[v], adjacency
+        )
+        p.remove(v)
+        x.add(v)
+
+
+def build_job(**overrides):
+    """A configured maximal-cliques job."""
+    return PregelixJob(
+        name="maximal-cliques",
+        vertex_class=MaximalCliquesVertex,
+        value_serde=serde.INT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.ListSerde(serde.INT64),
+        combiner=DefaultListCombiner(),
+        aggregator=CliqueCountAggregator(),
+        **overrides,
+    )
+
+
+parse_line = typed_parser(int)
+format_record = typed_formatter(str)

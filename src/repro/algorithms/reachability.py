@@ -1,0 +1,67 @@
+"""Reachability query: which vertices are reachable from a source set.
+
+A frontier-expansion algorithm (message-sparse like SSSP): reached
+vertices flip their flag once and notify their neighbors; already-reached
+vertices ignore further messages. Part of the paper's built-in library.
+"""
+
+from repro.common import serde
+from repro.graphs.io import typed_formatter, typed_parser
+from repro.pregelix.api import (
+    ConnectorPolicy,
+    GroupByStrategy,
+    JoinStrategy,
+    MaxCombiner,
+    PregelixJob,
+    Vertex,
+)
+
+#: Config key: comma-separated source vertex ids.
+SOURCES = "pregelix.reachability.sources"
+
+
+class ReachabilityVertex(Vertex):
+    """Value is 1 once the vertex is reachable from any source, else 0."""
+
+    def configure(self, config):
+        raw = config.get(SOURCES, "0")
+        self.sources = {int(token) for token in str(raw).split(",")}
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            self.value = 1 if self.vertex_id in self.sources else 0
+            if self.value:
+                self.send_message_to_all_edges(1)
+            self.vote_to_halt()
+            return
+        reached = any(message for message in messages)
+        if self.value is None:
+            self.value = 0  # auto-created vertices start unreached
+        if reached and not self.value:
+            self.value = 1
+            self.send_message_to_all_edges(1)
+        self.vote_to_halt()
+
+
+def build_job(sources=(0,), **overrides):
+    """A configured reachability job (sparse-message plan hints)."""
+    defaults = dict(
+        join_strategy=JoinStrategy.LEFT_OUTER,
+        groupby_strategy=GroupByStrategy.HASHSORT,
+        connector_policy=ConnectorPolicy.UNMERGED,
+    )
+    defaults.update(overrides)
+    return PregelixJob(
+        name="reachability",
+        vertex_class=ReachabilityVertex,
+        value_serde=serde.INT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.INT64,
+        combiner=MaxCombiner(),
+        config={SOURCES: ",".join(str(s) for s in sources)},
+        **defaults,
+    )
+
+
+parse_line = typed_parser(int)
+format_record = typed_formatter(str)

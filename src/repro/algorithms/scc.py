@@ -1,0 +1,164 @@
+"""Strongly connected components by forward-backward coloring.
+
+One of the advanced algorithms the paper's Hong Kong user group built on
+Pregelix (Section 6: "strongly connected components for directed graphs
+(e.g., the Twitter follower network)"). The classic Pregel formulation
+alternates two global phases per round, coordinated through the global
+aggregate (the number of state changes in the last superstep):
+
+1. **Forward**: every unassigned vertex propagates the maximum vertex id
+   (its *color*) along out-edges to a fixpoint. A vertex whose color is
+   its own id is a root: the maximum id in its reachable-from set.
+2. **Backward**: each root confirms its SCC by flooding along *in-edges*
+   restricted to its own color; a confirmed vertex both reaches and is
+   reached by the root, hence is in the root's SCC.
+
+Unconfirmed vertices reset their color and repeat; every round assigns
+at least one SCC per remaining color class, so the algorithm terminates.
+In-edges are not part of the input, so round zero discovers them by
+messaging (the standard Pregel trick).
+
+The vertex value is the tuple ``(scc, color, phase, in_neighbors)``;
+``scc`` is -1 until assigned.
+"""
+
+from repro.common import serde
+from repro.pregelix.api import (
+    DefaultListCombiner,
+    GlobalAggregator,
+    PregelixJob,
+    Vertex,
+)
+
+_UNASSIGNED = -1
+_PHASE_FORWARD = 0
+_PHASE_BACKWARD = 1
+
+_KIND_DISCOVER = 0  # payload: sender id (in-neighbor discovery)
+_KIND_FORWARD = 1  # payload: color
+_KIND_BACKWARD = 2  # payload: confirmed color
+
+
+class ChangeCountAggregator(GlobalAggregator):
+    """Counts state changes; zero signals a phase fixpoint."""
+
+    def init(self):
+        return 0
+
+    def accumulate(self, state, contribution):
+        return state + contribution
+
+    def merge(self, left, right):
+        return left + right
+
+    def value_serde(self):
+        return serde.INT64
+
+
+class StronglyConnectedComponentsVertex(Vertex):
+    """Value: ``(scc, color, phase, in_neighbors)``."""
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            self.value = (_UNASSIGNED, self.vertex_id, _PHASE_FORWARD, [])
+            for edge in self.edges:
+                self.send_message(edge.target, (_KIND_DISCOVER, self.vertex_id))
+            return  # stay active: everyone participates in superstep 2
+
+        scc, color, phase, in_neighbors = self.value
+        incoming = list(messages)
+
+        if self.superstep == 2:
+            in_neighbors = [
+                payload for kind, payload in incoming if kind == _KIND_DISCOVER
+            ]
+            self.value = (scc, color, _PHASE_FORWARD, sorted(in_neighbors))
+            # Kick off the first forward phase.
+            self._propagate_color(color)
+            self.aggregate(1)
+            return
+
+        changed = 0
+        if scc == _UNASSIGNED:
+            if phase == _PHASE_FORWARD:
+                best = color
+                for kind, payload in incoming:
+                    if kind == _KIND_FORWARD and payload > best:
+                        best = payload
+                if best != color:
+                    color = best
+                    self._propagate_color(color)
+                    changed = 1
+                elif self._phase_quiesced():
+                    # Forward fixpoint: roots start the backward flood.
+                    phase = _PHASE_BACKWARD
+                    if color == self.vertex_id:
+                        scc = color
+                        self._flood_backward(in_neighbors, color)
+                        changed = 1
+            else:  # backward phase
+                confirmed = any(
+                    kind == _KIND_BACKWARD and payload == color
+                    for kind, payload in incoming
+                )
+                if confirmed:
+                    scc = color
+                    self._flood_backward(in_neighbors, color)
+                    changed = 1
+                elif self._phase_quiesced():
+                    # Backward fixpoint: reset and start a new round.
+                    color = self.vertex_id
+                    phase = _PHASE_FORWARD
+                    self._propagate_color(color)
+                    changed = 1
+        self.value = (scc, color, phase, in_neighbors)
+        if changed:
+            self.aggregate(1)
+        if scc != _UNASSIGNED:
+            self.vote_to_halt()
+        # Unassigned vertices stay active: they must observe the global
+        # aggregate every superstep to detect phase fixpoints.
+
+    # ------------------------------------------------------------------
+    def _phase_quiesced(self):
+        return not self.global_aggregate
+
+    def _propagate_color(self, color):
+        for edge in self.edges:
+            self.send_message(edge.target, (_KIND_FORWARD, color))
+
+    def _flood_backward(self, in_neighbors, color):
+        for neighbor in in_neighbors:
+            self.send_message(neighbor, (_KIND_BACKWARD, color))
+
+
+def build_job(**overrides):
+    """A configured strongly-connected-components job."""
+    value_serde = serde.TupleSerde(
+        serde.INT64, serde.INT64, serde.INT64, serde.ListSerde(serde.INT64)
+    )
+    message_serde = serde.TupleSerde(serde.INT64, serde.INT64)
+    return PregelixJob(
+        name="scc",
+        vertex_class=StronglyConnectedComponentsVertex,
+        value_serde=value_serde,
+        edge_serde=serde.FLOAT64,
+        msg_serde=message_serde,
+        combiner=DefaultListCombiner(),
+        aggregator=ChangeCountAggregator(),
+        **overrides,
+    )
+
+
+def parse_line(line):
+    """Input parser: values are ignored (initialized in superstep 1)."""
+    from repro.graphs.io import parse_adjacency_line
+
+    vid, _value, edges = parse_adjacency_line(line, value_parser=str)
+    return vid, None, edges
+
+
+def format_record(record):
+    """Output one line per vertex: ``vid scc_id``."""
+    scc = record.value[0] if record.value else _UNASSIGNED
+    return "%d %d" % (record.vid, scc)

@@ -1,0 +1,69 @@
+"""Single source shortest paths — the message-sparse workload.
+
+A direct port of the paper's Figure 9, including its plan hints: the
+*left outer join* message delivery (only a few vertices are live per
+superstep, so probing beats scanning), HashSort group-by (few distinct
+receivers), and the non-merging connector.
+"""
+
+import math
+
+from repro.common import serde
+from repro.pregelix.api import (
+    ConnectorPolicy,
+    GroupByStrategy,
+    JoinStrategy,
+    MinCombiner,
+    PregelixJob,
+    Vertex,
+)
+
+#: Config key for the source vertex id (Figure 9's SOURCE_ID).
+SOURCE_ID = "pregelix.sssp.sourceId"
+
+_INFINITY = math.inf
+
+
+class ShortestPathsVertex(Vertex):
+    """Value is the best known distance from the source."""
+
+    def configure(self, config):
+        self.source_id = int(config.get(SOURCE_ID, 0))
+
+    def compute(self, messages):
+        if self.superstep == 1 or self.value is None:
+            # Vertices auto-created by a message to an unknown vid arrive
+            # with NULL fields (paper Figure 2); treat them as unreached.
+            self.value = _INFINITY
+        min_dist = 0.0 if self.vertex_id == self.source_id else _INFINITY
+        for message in messages:
+            min_dist = min(min_dist, message)
+        if min_dist < self.value:
+            self.value = min_dist
+            for edge in self.edges:
+                weight = edge.value if edge.value is not None else 1.0
+                self.send_message(edge.target, min_dist + weight)
+        self.vote_to_halt()
+
+
+def build_job(
+    source_id=0,
+    join_strategy=JoinStrategy.LEFT_OUTER,
+    groupby_strategy=GroupByStrategy.HASHSORT,
+    connector_policy=ConnectorPolicy.UNMERGED,
+    **overrides,
+):
+    """A configured SSSP job with Figure 9's plan hints by default."""
+    return PregelixJob(
+        name="sssp",
+        vertex_class=ShortestPathsVertex,
+        value_serde=serde.FLOAT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.FLOAT64,
+        combiner=MinCombiner(),
+        join_strategy=join_strategy,
+        groupby_strategy=groupby_strategy,
+        connector_policy=connector_policy,
+        config={SOURCE_ID: source_id},
+        **overrides,
+    )

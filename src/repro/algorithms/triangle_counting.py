@@ -1,0 +1,66 @@
+"""Triangle counting on undirected graphs (built-in library).
+
+The degree-ordered two-round algorithm: in superstep 1 each vertex ``v``
+enumerates its neighbor pairs ``u < w`` (with ``v < u``) and asks ``u``
+whether it also links to ``w``; in superstep 2 every vertex counts the
+candidate queries that hit its own adjacency set. The per-vertex counts
+sum (via the global aggregator) to the graph's triangle total.
+"""
+
+from repro.common import serde
+from repro.graphs.io import typed_formatter, typed_parser
+from repro.pregelix.api import GlobalAggregator, PregelixJob, Vertex
+
+
+class TriangleCountAggregator(GlobalAggregator):
+    """Sums the per-vertex triangle counts into the global total."""
+
+    def init(self):
+        return 0
+
+    def accumulate(self, state, contribution):
+        return state + contribution
+
+    def merge(self, left, right):
+        return left + right
+
+    def value_serde(self):
+        return serde.INT64
+
+
+class TriangleCountingVertex(Vertex):
+    """Value is the number of triangles closed at this vertex."""
+
+    def compute(self, messages):
+        if self.superstep == 1:
+            self.value = 0
+            higher = sorted({e.target for e in self.edges if e.target > self.vertex_id})
+            for i, u in enumerate(higher):
+                for w in higher[i + 1:]:
+                    self.send_message(u, w)
+            self.vote_to_halt()
+            return
+        if self.superstep == 2:
+            neighbors = {e.target for e in self.edges}
+            count = sum(1 for w in messages if w in neighbors)
+            self.value = count
+            if count:
+                self.aggregate(count)
+        self.vote_to_halt()
+
+
+def build_job(**overrides):
+    """A configured triangle-counting job."""
+    return PregelixJob(
+        name="triangle-counting",
+        vertex_class=TriangleCountingVertex,
+        value_serde=serde.INT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.INT64,
+        aggregator=TriangleCountAggregator(),
+        **overrides,
+    )
+
+
+parse_line = typed_parser(int)
+format_record = typed_formatter(str)

@@ -1,0 +1,37 @@
+"""Process-centric comparison systems (paper Section 7's competitors).
+
+Each baseline re-implements the *architecture* of one comparison system
+— what must be memory-resident, how messages are delivered, what the
+load path materializes — while executing the same user vertex programs
+as Pregelix. Failure points are not hard-coded: every engine charges its
+actual data structures against the same per-worker byte budget the
+Pregelix cluster uses, and dies with :class:`MemoryBudgetExceeded`
+exactly when its architecture says it must.
+
+* :class:`~repro.baselines.giraph.GiraphLikeEngine` — process-centric
+  BSP, everything heap-resident (``mode="mem"``) or with the preliminary
+  out-of-core support that still buffers raw incoming messages
+  (``mode="ooc"``).
+* :class:`~repro.baselines.graphlab.GraphLabLikeEngine` — GAS with ghost
+  vertex replication; fastest per-iteration on small data, memory grows
+  with the replication factor.
+* :class:`~repro.baselines.hama.HamaLikeEngine` — BSP with immutable
+  sorted vertex files but strictly memory-resident uncombined messages.
+* :class:`~repro.baselines.graphx.GraphXLikeEngine` — RDD-style triplet
+  dataflow whose load path materializes several collections at once.
+"""
+
+from repro.baselines.base import BaselineOutcome, JVM_OBJECT_OVERHEAD
+from repro.baselines.giraph import GiraphLikeEngine
+from repro.baselines.graphlab import GraphLabLikeEngine
+from repro.baselines.hama import HamaLikeEngine
+from repro.baselines.graphx import GraphXLikeEngine
+
+__all__ = [
+    "BaselineOutcome",
+    "JVM_OBJECT_OVERHEAD",
+    "GiraphLikeEngine",
+    "GraphLabLikeEngine",
+    "HamaLikeEngine",
+    "GraphXLikeEngine",
+]

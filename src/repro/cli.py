@@ -1,0 +1,355 @@
+"""Command-line interface: generate graphs, run jobs, regenerate figures.
+
+Examples::
+
+    # generate a dataset into a local directory
+    python -m repro generate --family webmap --vertices 5000 --out /tmp/web
+
+    # run a built-in algorithm over it on a 4-worker simulated cluster
+    python -m repro run pagerank --input /tmp/web --output /tmp/ranks \\
+        --iterations 10 --nodes 4
+
+    # regenerate one of the paper's experiments
+    python -m repro figures table3 figure14-sssp
+
+    # the Section 7.6 lines-of-code comparison
+    python -m repro loc
+"""
+
+import argparse
+import os
+import sys
+
+from repro.pregelix import ConnectorPolicy, GroupByStrategy, JoinStrategy, VertexStorage
+
+#: name -> (module path, job-builder kwargs drawn from CLI args)
+ALGORITHMS = {
+    "pagerank": ("repro.algorithms.pagerank", ("iterations",)),
+    "sssp": ("repro.algorithms.sssp", ("source_id",)),
+    "cc": ("repro.algorithms.connected_components", ()),
+    "reachability": ("repro.algorithms.reachability", ()),
+    "triangles": ("repro.algorithms.triangle_counting", ()),
+    "cliques": ("repro.algorithms.maximal_cliques", ()),
+    "sampling": ("repro.algorithms.graph_sampling", ()),
+    "bfs-tree": ("repro.algorithms.bfs_spanning_tree", ()),
+    "path-merging": ("repro.algorithms.graph_cleaning", ()),
+    "scc": ("repro.algorithms.scc", ()),
+    "list-ranking": ("repro.algorithms.list_ranking", ()),
+}
+
+FIGURES = [
+    "table3",
+    "table4",
+    "figure10-pagerank",
+    "figure10-sssp",
+    "figure10-cc",
+    "figure12a",
+    "figure12b",
+    "figure12c",
+    "figure13",
+    "figure14-sssp",
+    "figure14-pagerank",
+    "figure14-cc",
+    "figure15-24",
+    "figure15-32",
+    "connector-tradeoff",
+]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pregelix reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic graph")
+    generate.add_argument("--family", choices=["webmap", "btc", "chain", "paths"],
+                          default="webmap")
+    generate.add_argument("--vertices", type=int, default=2000)
+    generate.add_argument("--avg-degree", type=float, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--files", type=int, default=4)
+    generate.add_argument("--out", required=True, help="output directory")
+
+    run = sub.add_parser("run", help="run a built-in algorithm")
+    run.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    run.add_argument("--input", required=True, help="directory of part files")
+    run.add_argument("--input-format", choices=["adjacency", "edges"],
+                     default="adjacency",
+                     help="adjacency lines (vid value dst:w ...) or "
+                          "edge-list lines (src dst [w])")
+    run.add_argument("--output", help="directory for result part files")
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--iterations", type=int, default=10)
+    run.add_argument("--source-id", type=int, default=0)
+    run.add_argument("--join", choices=["foj", "loj"], default=None,
+                     help="override the job's join strategy hint")
+    run.add_argument("--groupby", choices=["sort", "hashsort"], default=None)
+    run.add_argument("--connector", choices=["merged", "unmerged"], default=None)
+    run.add_argument("--storage", choices=["btree", "lsm"], default=None)
+    run.add_argument("--optimize", action="store_true",
+                     help="enable the cost-based plan optimizer")
+    run.add_argument("--checkpoint-interval", type=int, default=None)
+    run.add_argument("--stats", action="store_true",
+                     help="print the per-superstep statistics table")
+
+    figures = sub.add_parser("figures", help="regenerate paper experiments")
+    figures.add_argument("which", nargs="+", choices=FIGURES + ["all"])
+    figures.add_argument("--nodes", type=int, default=4)
+
+    explain = sub.add_parser(
+        "explain", help="print the physical plans for an algorithm's job"
+    )
+    explain.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    explain.add_argument("--join", choices=["foj", "loj"], default=None)
+    explain.add_argument("--groupby", choices=["sort", "hashsort"], default=None)
+    explain.add_argument("--connector", choices=["merged", "unmerged"], default=None)
+    explain.add_argument("--nodes", type=int, default=4)
+
+    sub.add_parser("loc", help="the Section 7.6 lines-of-code comparison")
+    return parser
+
+
+# ---------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------
+def cmd_generate(args, out=print):
+    from repro.graphs.generators import (
+        btc_graph,
+        chain_graph,
+        de_bruijn_path_graph,
+        webmap_graph,
+    )
+    from repro.graphs.io import format_graph_line
+
+    if args.family == "webmap":
+        vertices = webmap_graph(
+            args.vertices, avg_out_degree=args.avg_degree or 6.0, seed=args.seed
+        )
+    elif args.family == "btc":
+        vertices = btc_graph(
+            args.vertices, avg_degree=args.avg_degree or 8.94, seed=args.seed
+        )
+    elif args.family == "chain":
+        vertices = chain_graph(args.vertices)
+    else:
+        vertices = de_bruijn_path_graph(max(args.vertices // 12, 1), 12, seed=args.seed)
+
+    os.makedirs(args.out, exist_ok=True)
+    handles = [
+        open(os.path.join(args.out, "part-%05d" % i), "w") for i in range(args.files)
+    ]
+    try:
+        count = 0
+        for vid, value, edges in vertices:
+            handles[count % args.files].write(format_graph_line(vid, value, edges) + "\n")
+            count += 1
+    finally:
+        for handle in handles:
+            handle.close()
+    out("wrote %d vertices to %s (%d files)" % (count, args.out, args.files))
+    return 0
+
+
+def cmd_run(args, out=print):
+    import importlib
+
+    from repro.hdfs import MiniDFS
+    from repro.hyracks.engine import HyracksCluster
+    from repro.pregelix import PregelixDriver
+
+    module_name, kwarg_names = ALGORITHMS[args.algorithm]
+    module = importlib.import_module(module_name)
+    kwargs = {}
+    if "iterations" in kwarg_names:
+        kwargs["iterations"] = args.iterations
+    if "source_id" in kwarg_names:
+        kwargs["source_id"] = args.source_id
+    job = module.build_job(**kwargs)
+
+    if args.join:
+        job.join_strategy = (
+            JoinStrategy.LEFT_OUTER if args.join == "loj" else JoinStrategy.FULL_OUTER
+        )
+    if args.groupby:
+        job.groupby_strategy = (
+            GroupByStrategy.HASHSORT if args.groupby == "hashsort" else GroupByStrategy.SORT
+        )
+    if args.connector:
+        job.connector_policy = (
+            ConnectorPolicy.MERGED if args.connector == "merged" else ConnectorPolicy.UNMERGED
+        )
+    if args.storage:
+        job.vertex_storage = (
+            VertexStorage.LSM_BTREE if args.storage == "lsm" else VertexStorage.BTREE
+        )
+    if args.optimize:
+        job.auto_optimize = True
+    if args.checkpoint_interval:
+        job.checkpoint_interval = args.checkpoint_interval
+
+    cluster = HyracksCluster(num_nodes=args.nodes)
+    try:
+        dfs = MiniDFS(datanodes=cluster.node_ids())
+        part_files = sorted(
+            name for name in os.listdir(args.input)
+            if os.path.isfile(os.path.join(args.input, name))
+        )
+        if not part_files:
+            out("error: no input files in %s" % args.input)
+            return 2
+        for name in part_files:
+            with open(os.path.join(args.input, name)) as handle:
+                dfs.write("/input/%s" % name, handle.read())
+
+        driver = PregelixDriver(cluster, dfs)
+        if args.input_format == "edges":
+            from repro.graphs.io import parse_edge_line
+
+            parse_line = parse_edge_line
+        else:
+            parse_line = getattr(module, "parse_line", None)
+        outcome = driver.run(
+            job,
+            "/input",
+            output_path="/output" if args.output else None,
+            parse_line=parse_line,
+            format_record=getattr(module, "format_record", None),
+        )
+        out(
+            "%s: %d supersteps in %.2fs (avg %.3fs); plan %s"
+            % (
+                args.algorithm,
+                outcome.supersteps,
+                outcome.total_seconds,
+                outcome.avg_iteration_seconds,
+                job.plan_signature(),
+            )
+        )
+        if outcome.gs.aggregate is not None:
+            out("global aggregate: %r" % (outcome.gs.aggregate,))
+        if args.stats:
+            outcome.stats.report(out=out)
+        out(
+            "vertices: %d, edges: %d, messages sent: %d"
+            % (
+                outcome.gs.num_vertices,
+                outcome.gs.num_edges,
+                outcome.stats.total_messages_sent,
+            )
+        )
+        if args.output:
+            os.makedirs(args.output, exist_ok=True)
+            for path in dfs.list_files("/output"):
+                local = os.path.join(args.output, os.path.basename(path))
+                with open(local, "w") as handle:
+                    handle.write(dfs.read_text(path))
+            out("results written to %s" % args.output)
+        return 0
+    finally:
+        cluster.close()
+
+
+def cmd_figures(args, out=print):
+    from repro.bench import figures as fig
+    from repro.bench.harness import ExperimentEnv
+
+    env = ExperimentEnv(num_nodes=args.nodes)
+    selection = FIGURES if "all" in args.which else args.which
+    for which in selection:
+        if which == "table3":
+            fig.table3(env, out=out)
+        elif which == "table4":
+            fig.table4(env, out=out)
+        elif which.startswith("figure10-") or which.startswith("figure11-"):
+            workload = which.split("-", 1)[1]
+            measurements = fig.run_time_sweep(env, workload)
+            fig.figure10(measurements, workload, out=out)
+            fig.figure11(measurements, workload, out=out)
+        elif which == "figure12a":
+            fig.figure12a(env, out=out)
+        elif which == "figure12b":
+            fig.figure12b(env, out=out)
+        elif which == "figure12c":
+            fig.figure12c(env, out=out)
+        elif which == "figure13":
+            fig.figure13(env, out=out)
+        elif which.startswith("figure14-"):
+            fig.figure14(env, which.split("-", 1)[1], out=out)
+        elif which.startswith("figure15-"):
+            fig.figure15(env, paper_machines=int(which.split("-")[1]), out=out)
+        elif which == "connector-tradeoff":
+            fig.connector_tradeoff(env, out=out)
+    return 0
+
+
+def cmd_explain(args, out=print):
+    import importlib
+
+    from repro.hdfs import MiniDFS
+    from repro.pregelix.physical import PartitionMap, PlanGenerator
+    from repro.pregelix.types import GlobalState
+
+    module_name, _kwargs = ALGORITHMS[args.algorithm]
+    module = importlib.import_module(module_name)
+    job = module.build_job()
+    if args.join:
+        job.join_strategy = (
+            JoinStrategy.LEFT_OUTER if args.join == "loj" else JoinStrategy.FULL_OUTER
+        )
+    if args.groupby:
+        job.groupby_strategy = (
+            GroupByStrategy.HASHSORT if args.groupby == "hashsort" else GroupByStrategy.SORT
+        )
+    if args.connector:
+        job.connector_policy = (
+            ConnectorPolicy.MERGED if args.connector == "merged" else ConnectorPolicy.UNMERGED
+        )
+    nodes = ["node%d" % i for i in range(args.nodes)]
+    dfs = MiniDFS(datanodes=nodes)
+    dfs.write_text_lines("/explain-input/part-0", ["0 _ 1:1.0", "1 _"])
+    generator = PlanGenerator(job, dfs, "explain", PartitionMap(nodes))
+    out("plan signature: %s" % job.plan_signature())
+    out("")
+    out("-- loading plan --")
+    from repro.graphs.io import parse_adjacency_line
+
+    for line in generator.loading_plan("/explain-input", parse_adjacency_line).describe():
+        out("  " + line)
+    out("")
+    out("-- superstep plan --")
+    for line in generator.superstep_plan(GlobalState()).describe():
+        out("  " + line)
+    out("")
+    out("-- dump plan --")
+    from repro.graphs.io import format_vertex_record
+
+    for line in generator.dump_plan("/explain-out", format_vertex_record).describe():
+        out("  " + line)
+    return 0
+
+
+def cmd_loc(args, out=print):
+    from repro.bench.figures import section76_loc
+
+    section76_loc(out=out)
+    return 0
+
+
+def main(argv=None, out=print):
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return cmd_generate(args, out=out)
+    if args.command == "run":
+        return cmd_run(args, out=out)
+    if args.command == "figures":
+        return cmd_figures(args, out=out)
+    if args.command == "explain":
+        return cmd_explain(args, out=out)
+    if args.command == "loc":
+        return cmd_loc(args, out=out)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Shared building blocks: errors, serialization, and resource accounting.
+
+Everything in this package is engine-agnostic; it is used by the simulated
+HDFS, the Hyracks dataflow engine, the Pregelix core, and the
+process-centric baseline engines alike.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    MemoryBudgetExceeded,
+    SchedulingError,
+    StorageError,
+    JobFailure,
+    WorkerFailure,
+    CheckpointNotFound,
+)
+from repro.common.accounting import MemoryBudget, IOCounters, Counters
+from repro.common import serde
+
+__all__ = [
+    "ReproError",
+    "MemoryBudgetExceeded",
+    "SchedulingError",
+    "StorageError",
+    "JobFailure",
+    "WorkerFailure",
+    "CheckpointNotFound",
+    "MemoryBudget",
+    "IOCounters",
+    "Counters",
+    "serde",
+]

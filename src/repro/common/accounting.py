@@ -1,0 +1,164 @@
+"""Resource accounting: per-worker memory budgets and I/O counters.
+
+The paper's central experimental axis is *dataset size / aggregated RAM*.
+To reproduce it on one machine we give every simulated worker a byte
+budget. Engines differ only in what they charge against the budget:
+process-centric baselines charge vertex and message state (and die when
+it does not fit), while the Pregelix storage layer charges only its buffer
+cache and group-by buffers (and spills past them).
+"""
+
+import threading
+
+from repro.common.errors import MemoryBudgetExceeded
+
+
+class MemoryBudget:
+    """A byte allowance that raises when exceeded.
+
+    >>> budget = MemoryBudget(100)
+    >>> budget.allocate(60, what="vertices")
+    >>> budget.used
+    60
+    >>> budget.release(10)
+    >>> budget.remaining
+    50
+    """
+
+    def __init__(self, capacity_bytes, name="worker"):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity_bytes)
+        self.name = name
+        self._used = 0
+        self._peak = 0
+        self._lock = threading.Lock()
+
+    @property
+    def used(self):
+        return self._used
+
+    @property
+    def peak(self):
+        """High-water mark of allocated bytes over the budget's lifetime."""
+        return self._peak
+
+    @property
+    def remaining(self):
+        return self.capacity - self._used
+
+    def allocate(self, nbytes, what=""):
+        """Charge ``nbytes``; raise :class:`MemoryBudgetExceeded` if over."""
+        nbytes = int(nbytes)
+        with self._lock:
+            if self._used + nbytes > self.capacity:
+                raise MemoryBudgetExceeded(nbytes, self._used, self.capacity, what)
+            self._used += nbytes
+            if self._used > self._peak:
+                self._peak = self._used
+
+    def try_allocate(self, nbytes):
+        """Charge ``nbytes`` if it fits; return whether it did."""
+        nbytes = int(nbytes)
+        with self._lock:
+            if self._used + nbytes > self.capacity:
+                return False
+            self._used += nbytes
+            if self._used > self._peak:
+                self._peak = self._used
+            return True
+
+    def release(self, nbytes):
+        nbytes = int(nbytes)
+        with self._lock:
+            if nbytes > self._used:
+                raise ValueError(
+                    "releasing %d bytes but only %d allocated" % (nbytes, self._used)
+                )
+            self._used -= nbytes
+
+    def reset(self):
+        with self._lock:
+            self._used = 0
+
+    def __repr__(self):
+        return "MemoryBudget(%s: %d/%d bytes, peak %d)" % (
+            self.name,
+            self._used,
+            self.capacity,
+            self._peak,
+        )
+
+
+class IOCounters:
+    """Disk and network byte/operation counters for one component."""
+
+    def __init__(self):
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.disk_read_bytes = 0
+        self.disk_write_bytes = 0
+        self.network_bytes = 0
+        self.network_messages = 0
+
+    def record_read(self, nbytes):
+        self.disk_reads += 1
+        self.disk_read_bytes += int(nbytes)
+
+    def record_write(self, nbytes):
+        self.disk_writes += 1
+        self.disk_write_bytes += int(nbytes)
+
+    def record_network(self, nbytes, messages=1):
+        self.network_bytes += int(nbytes)
+        self.network_messages += int(messages)
+
+    def merge(self, other):
+        self.disk_reads += other.disk_reads
+        self.disk_writes += other.disk_writes
+        self.disk_read_bytes += other.disk_read_bytes
+        self.disk_write_bytes += other.disk_write_bytes
+        self.network_bytes += other.network_bytes
+        self.network_messages += other.network_messages
+
+    def snapshot(self):
+        return {
+            "disk_reads": self.disk_reads,
+            "disk_writes": self.disk_writes,
+            "disk_read_bytes": self.disk_read_bytes,
+            "disk_write_bytes": self.disk_write_bytes,
+            "network_bytes": self.network_bytes,
+            "network_messages": self.network_messages,
+        }
+
+    def __repr__(self):
+        return "IOCounters(%r)" % (self.snapshot(),)
+
+
+class Counters:
+    """A free-form named-counter bag (the statistics collector's currency)."""
+
+    def __init__(self):
+        self._values = {}
+
+    def add(self, name, amount=1):
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def set(self, name, value):
+        self._values[name] = value
+
+    def get(self, name, default=0):
+        return self._values.get(name, default)
+
+    def merge(self, other):
+        for name, value in other._values.items():
+            self.add(name, value)
+
+    def snapshot(self):
+        return dict(self._values)
+
+    def __contains__(self, name):
+        return name in self._values
+
+    def __repr__(self):
+        return "Counters(%r)" % (self._values,)

@@ -1,0 +1,130 @@
+"""The simulated-time cost model for the paper's testbed.
+
+Why simulated time
+------------------
+The reproduction runs every engine in one Python process, so raw
+wall-clock comparisons would measure CPython constant factors, not the
+architectures the paper compares (a Python dict engine beats a paged
+B-tree engine at any scale). Instead, every engine *counts* the work it
+actually performs — vertices touched, compute calls, messages moved,
+bytes spilled and shipped — and this module converts those counts into
+seconds on the paper's hardware (2.26 GHz Xeon E5520 workers, GbE,
+7200 RPM disks). Counts are real and mechanism-derived; only the
+per-operation constants below are calibrated, and they are calibrated
+once against the paper's *relative* claims (Section 7.2/7.5), not per
+dataset.
+
+Per-operation constants (microseconds, per worker core)
+--------------------------------------------------------
+Dataflow (Pregelix) side: a sequential index-scan tuple costs far less
+than a root-to-leaf probe; messages pay the full sort/combine/shuffle
+path. Process-centric side: touching a Java vertex object (even a
+halted one) costs several microseconds of object-graph traversal, which
+is the mechanism behind the paper's 7x-15x per-iteration SSSP speedups
+— Pregelix's joins skip what Giraph must iterate.
+
+Memory-pressure penalty
+-----------------------
+Process-centric engines degrade super-linearly as their heaps fill
+(GC churn, paging): the paper observes exactly this ("they all perform
+super-linearly worse when the volume of data assigned to a slave
+machine increases"). :func:`pressure_penalty` models it as a convex
+multiplier of heap occupancy that also explains the super-linear
+parallel "speedups" of Figure 12(b) — adding machines relieves
+pressure.
+"""
+
+US = 1e-6
+
+# ---------------------------------------------------------------------
+# hardware (paper Section 7.1 testbed)
+# ---------------------------------------------------------------------
+#: Sequential disk bandwidth per worker (7.2K RPM spindle), bytes/s.
+DISK_BANDWIDTH = 100e6
+#: Effective network bandwidth per worker (GbE), bytes/s.
+NETWORK_BANDWIDTH = 117e6
+#: Buffer-cache page traffic (4 KB pages, seek-amortized): far below
+#: sequential bandwidth, which is what makes cache thrash expensive.
+PAGED_IO_BANDWIDTH = 40e6
+#: Per-superstep synchronization/barrier overhead (seconds) for the
+#: long-running process-centric engines: BSP barrier + master round trip.
+SUPERSTEP_BARRIER_SECONDS = 0.3
+#: Pregelix launches a fresh dataflow job per superstep (plan generation,
+#: task scheduling, operator setup) — a higher fixed cost, which is why
+#: the paper sees Pregelix up to 2x slower than Giraph on *very small*
+#: datasets where per-superstep work is tiny (Section 7.2).
+PREGELIX_BARRIER_SECONDS = 1.5
+
+# ---------------------------------------------------------------------
+# Pregelix (dataflow) per-operation costs
+# ---------------------------------------------------------------------
+#: One tuple through a sequential index scan + selection (FOJ path).
+PREGELIX_SCAN_TUPLE = 0.3 * US
+#: One root-to-leaf index probe (LOJ path).
+PREGELIX_PROBE = 2.0 * US
+#: One compute UDF call on an active vertex.
+PREGELIX_COMPUTE = 1.0 * US
+#: One message through sender group-by, shuffle, receiver group-by, and
+#: the Msg run file — tight loops over serialized records.
+PREGELIX_MESSAGE = 0.8 * US
+#: One vertex record (de)serialization + in-place index update.
+PREGELIX_UPDATE = 0.6 * US
+
+# ---------------------------------------------------------------------
+# process-centric per-operation costs
+# ---------------------------------------------------------------------
+#: Giraph/Hama: iterating one resident vertex object per superstep
+#: (store traversal, liveness check, object-graph touch).
+GIRAPH_VERTEX_TOUCH = 5.0 * US
+#: One compute call (shared by the JVM engines).
+BASELINE_COMPUTE = 1.0 * US
+#: One message through Giraph's sender-side combiner (a cheap map
+#: update; the JVM cost is in the vertex store, not here).
+GIRAPH_MESSAGE = 0.3 * US
+#: Giraph-ooc: serialize + deserialize churn per vertex per superstep.
+OOC_SERDE_CHURN = 1.6 * US
+#: GraphLab: per active vertex (direct arrays, no store traversal).
+GRAPHLAB_COMPUTE = 0.5 * US
+#: GraphLab: the synchronous engine sweeps every resident vertex and
+#: ghost each iteration (scatter/gather scheduling bitsets) — far
+#: lighter than a JVM object walk, but linear in residents.
+GRAPHLAB_TOUCH = 0.15 * US
+#: GraphLab: per message via direct neighbor slots.
+GRAPHLAB_MESSAGE = 0.25 * US
+#: Hama: per message envelope churn (individually addressed BSP msgs).
+HAMA_MESSAGE = 1.0 * US
+#: Hama: message-queue sort constant (times m log2 m).
+HAMA_SORT = 0.15 * US
+#: GraphX: per triplet scanned (columnar, scanned EVERY superstep).
+GRAPHX_EDGE_SCAN = 0.15 * US
+#: GraphX: per message through the join/reduce path.
+GRAPHX_MESSAGE = 0.8 * US
+#: Cost of parsing + building one vertex at load time (all engines).
+LOAD_BUILD_VERTEX = 2.0 * US
+
+
+def disk_seconds(nbytes, workers=1):
+    """Sequential disk time for ``nbytes`` spread over ``workers``."""
+    return nbytes / (DISK_BANDWIDTH * max(workers, 1))
+
+
+def paged_disk_seconds(nbytes, workers=1):
+    """Page-granular disk time (cache misses and writebacks)."""
+    return nbytes / (PAGED_IO_BANDWIDTH * max(workers, 1))
+
+
+def network_seconds(nbytes, workers=1):
+    """Transfer time for ``nbytes`` spread over ``workers`` NICs."""
+    return nbytes / (NETWORK_BANDWIDTH * max(workers, 1))
+
+
+def pressure_penalty(used_bytes, budget_bytes):
+    """Super-linear slowdown of a heap at ``used/budget`` occupancy.
+
+    ``1`` when empty; ~1.1x at 40%, ~1.9x at 70%, ~6x at 85%, ~30x past
+    95% — the GC-thrash wall every JVM operator knows.
+    """
+    if budget_bytes <= 0:
+        return 1.0
+    p = min(used_bytes / budget_bytes, 0.99)
+    return 1.0 + p**3 / max(1.0 - p, 0.03)

@@ -1,0 +1,59 @@
+"""Exception hierarchy shared by every subsystem in the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A worker tried to allocate past its simulated RAM budget.
+
+    Process-centric engines (the Giraph/GraphLab/Hama/GraphX baselines)
+    surface this as a job failure, which is exactly how the paper's
+    comparison systems behave once the dataset-to-RAM ratio grows. The
+    Pregelix engine never raises it for data: its storage layer spills
+    instead.
+    """
+
+    def __init__(self, requested, used, budget, what=""):
+        self.requested = int(requested)
+        self.used = int(used)
+        self.budget = int(budget)
+        self.what = what
+        super().__init__(
+            "memory budget exceeded%s: requested %d bytes with %d/%d in use"
+            % (" (%s)" % what if what else "", self.requested, self.used, self.budget)
+        )
+
+
+class SchedulingError(ReproError):
+    """The constraint solver could not produce a valid task placement."""
+
+
+class StorageError(ReproError):
+    """An access-method or buffer-cache invariant was violated."""
+
+
+class JobFailure(ReproError):
+    """A submitted job failed; carries the originating cause."""
+
+    def __init__(self, message, cause=None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class WorkerFailure(ReproError):
+    """An injected worker fault (power-off / disk error) during execution."""
+
+    def __init__(self, node_id, kind="interruption"):
+        self.node_id = node_id
+        self.kind = kind
+        super().__init__("worker %s failed (%s)" % (node_id, kind))
+
+
+class CheckpointNotFound(ReproError):
+    """Recovery was requested but no usable checkpoint exists."""
+
+
+class GraphMutationConflict(ReproError):
+    """Unresolvable conflicting vertex mutations reached the resolver."""

@@ -1,0 +1,44 @@
+"""Graph datasets: generators, text IO, samplers, and the registry.
+
+The paper evaluates on two real graphs — the Yahoo! Webmap (a 2002 web
+crawl) and BTC (an undirected semantic graph) — plus down-samples and
+scale-ups of each (Tables 3 and 4). Neither is redistributable at paper
+scale, so this package provides synthetic stand-ins with matching shape:
+a power-law directed web graph and a constant-average-degree undirected
+graph, the paper's own random-walk down-sampling, and its copy-and-
+renumber scale-up.
+"""
+
+from repro.graphs.generators import (
+    btc_graph,
+    chain_graph,
+    de_bruijn_path_graph,
+    star_graph,
+    webmap_graph,
+)
+from repro.graphs.io import (
+    format_vertex_record,
+    parse_adjacency_line,
+    parse_edge_line,
+    write_graph_to_dfs,
+)
+from repro.graphs.sampling import random_walk_sample, scale_up_copy
+from repro.graphs.datasets import DATASETS, DatasetSpec, graph_statistics, materialize
+
+__all__ = [
+    "webmap_graph",
+    "btc_graph",
+    "chain_graph",
+    "star_graph",
+    "de_bruijn_path_graph",
+    "parse_adjacency_line",
+    "parse_edge_line",
+    "format_vertex_record",
+    "write_graph_to_dfs",
+    "random_walk_sample",
+    "scale_up_copy",
+    "DATASETS",
+    "DatasetSpec",
+    "graph_statistics",
+    "materialize",
+]

@@ -1,0 +1,140 @@
+"""The dataset registry: scaled stand-ins for Tables 3 and 4.
+
+The paper's experiments sweep dataset size relative to aggregated RAM.
+Each :class:`DatasetSpec` here mirrors one row of Table 3 (Webmap and its
+random-walk samples) or Table 4 (BTC and its samples/scale-ups), scaled
+down by a constant factor so the whole ladder runs on one machine; the
+benchmark harness scales the simulated per-node RAM by the same factor,
+preserving every dataset/RAM ratio on the figures' x-axes.
+"""
+
+from dataclasses import dataclass
+
+from repro.graphs.generators import btc_graph, webmap_graph
+from repro.graphs.io import write_graph_to_dfs
+from repro.graphs.sampling import scale_up_copy
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset scale."""
+
+    family: str  # "webmap" or "btc"
+    name: str  # "tiny" .. "large"
+    num_vertices: int
+    avg_degree: float
+    paper_vertices: int
+    paper_size_gb: float
+
+    def generate(self, seed=0):
+        if self.family == "webmap":
+            return webmap_graph(self.num_vertices, avg_out_degree=self.avg_degree, seed=seed)
+        return btc_graph(self.num_vertices, avg_degree=self.avg_degree, seed=seed)
+
+    def materialize(self, dfs, seed=0, num_files=None):
+        return materialize(self, dfs, seed=seed, num_files=num_files)
+
+    @property
+    def path(self):
+        return "/datasets/%s-%s" % (self.family, self.name)
+
+
+# Paper Table 3: Webmap Large/Medium/Small/X-Small/Tiny. Vertex counts
+# here keep the paper's relative ladder (~1 : 0.50 : 0.10 : 0.053 : 0.018
+# of Large) at simulation scale; average degrees are the paper's.
+_WEBMAP = [
+    DatasetSpec("webmap", "large", 28000, 5.69, 1_413_511_390, 71.82),
+    DatasetSpec("webmap", "medium", 17050, 4.15, 709_673_622, 31.78),
+    DatasetSpec("webmap", "small", 3760, 10.27, 143_060_913, 14.05),
+    DatasetSpec("webmap", "x-small", 2150, 14.31, 75_605_388, 9.99),
+    DatasetSpec("webmap", "tiny", 815, 12.02, 25_370_077, 2.93),
+]
+
+# Paper Table 4: BTC Large/Medium/Small/X-Small/Tiny, constant 8.94
+# average degree for the samples/scale-ups, 5.64 for Tiny. Small, Medium
+# and Large are copy-and-renumber scale-ups of X-Small (2x, 3x, 4x), as
+# in the paper.
+_BTC = [
+    DatasetSpec("btc", "large", 15504, 8.94, 690_621_916, 66.48),
+    DatasetSpec("btc", "medium", 11628, 8.94, 517_966_437, 49.86),
+    DatasetSpec("btc", "small", 7752, 8.94, 345_310_958, 33.24),
+    DatasetSpec("btc", "x-small", 3876, 8.94, 172_655_479, 16.62),
+    DatasetSpec("btc", "tiny", 2550, 5.64, 107_706_280, 7.04),
+]
+
+# Connected scale-up ladder for the paper's Figure 12(c): copy-and-
+# renumber scale-ups with bridge edges from the original source region
+# into every copy, so a single-source computation's frontier grows
+# proportionally with the data while the diameter stays constant.
+_BTC_SCALEUP = [
+    DatasetSpec("btc", "scaleup-1x", 3876, 8.94, 172_655_479, 16.62),
+    DatasetSpec("btc", "scaleup-2x", 7752, 8.94, 345_310_958, 33.24),
+    DatasetSpec("btc", "scaleup-3x", 11628, 8.94, 517_966_437, 49.86),
+    DatasetSpec("btc", "scaleup-4x", 15504, 8.94, 690_621_916, 66.48),
+]
+
+DATASETS = {
+    (spec.family, spec.name): spec for spec in _WEBMAP + _BTC + _BTC_SCALEUP
+}
+
+#: Ladder order used by the sweeps (smallest first).
+SCALE_ORDER = ["tiny", "x-small", "small", "medium", "large"]
+
+
+def materialize(spec, dfs, seed=0, num_files=None):
+    """Generate ``spec`` into the DFS (idempotent); returns its path.
+
+    BTC scales above X-Small are produced by the paper's copy-and-
+    renumber scale-up of the X-Small graph rather than fresh sampling,
+    mirroring how Table 4's larger rows were built.
+    """
+    path = spec.path
+    if dfs.list_files(path):
+        return path
+    if num_files is None:
+        num_files = max(4, len(dfs.datanodes))
+    if spec.family == "btc" and spec.name in ("small", "medium", "large"):
+        base = DATASETS[("btc", "x-small")]
+        copies = max(1, round(spec.num_vertices / base.num_vertices))
+        vertices = scale_up_copy(base.generate(seed=seed), copies)
+    elif spec.family == "btc" and spec.name.startswith("scaleup-"):
+        base = DATASETS[("btc", "scaleup-1x")]
+        copies = max(1, round(spec.num_vertices / base.num_vertices))
+        vertices = scale_up_copy(base.generate(seed=seed), copies)
+        vertices = _bridge_copies(vertices, base.num_vertices, copies)
+    else:
+        vertices = spec.generate(seed=seed)
+    write_graph_to_dfs(dfs, path, vertices, num_files=num_files)
+    return path
+
+
+def graph_statistics(vertices):
+    """Table-3/4-style statistics for a generated graph.
+
+    Returns ``(size_bytes, num_vertices, num_edges, avg_degree)`` where
+    size is the text-format footprint (what the loader reads).
+    """
+    from repro.graphs.io import format_graph_line
+
+    num_vertices = 0
+    num_edges = 0
+    size_bytes = 0
+    for vid, value, edges in vertices:
+        num_vertices += 1
+        num_edges += len(edges)
+        size_bytes += len(format_graph_line(vid, value, edges)) + 1
+    avg_degree = num_edges / num_vertices if num_vertices else 0.0
+    return size_bytes, num_vertices, num_edges, avg_degree
+
+
+def _bridge_copies(vertices, id_space, copies):
+    """Link vertex 0 to each copy's renumbered origin, both directions."""
+    bridged = []
+    bridge_targets = {copy * id_space for copy in range(1, copies)}
+    for vid, value, edges in vertices:
+        if vid == 0:
+            edges = list(edges) + [(t, 1.0) for t in sorted(bridge_targets)]
+        elif vid in bridge_targets:
+            edges = list(edges) + [(0, 1.0)]
+        bridged.append((vid, value, edges))
+    return bridged

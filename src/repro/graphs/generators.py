@@ -1,0 +1,163 @@
+"""Synthetic graph generators shaped like the paper's datasets.
+
+:func:`webmap_graph` produces a directed graph with power-law in-degrees
+and skewed out-degrees (average tunable; the real Webmap averages 4-14
+across samples, Table 3). :func:`btc_graph` produces an undirected graph
+with a constant average degree (the real BTC's samples all average 8.94,
+Table 4). Both are deterministic for a given seed.
+
+Generators yield ``(vid, value, edges)`` tuples, with ``value=None``
+(algorithms initialize values in superstep 1, as the paper's shortest-
+paths example does).
+"""
+
+import random
+
+
+def webmap_graph(num_vertices, avg_out_degree=6.0, seed=0, zipf_alpha=0.75):
+    """A directed power-law web graph.
+
+    Out-degrees are drawn from a discrete heavy-tailed distribution with
+    the requested mean; edge targets follow a Zipf-like curve over the
+    id space (``P(target=i) ∝ i^-alpha``), so low ids collect power-law
+    in-degrees — the web's "popular pages" shape, which is what stresses
+    PageRank's combiners.
+    """
+    if num_vertices <= 0:
+        raise ValueError("num_vertices must be positive")
+    if not 0.0 < zipf_alpha < 1.0:
+        raise ValueError("zipf_alpha must be in (0, 1) for inverse-CDF sampling")
+    rng = random.Random(seed)
+    exponent = 1.0 / (1.0 - zipf_alpha)
+    for vid in range(num_vertices):
+        out_degree = _heavy_tailed_degree(rng, avg_out_degree, num_vertices)
+        targets = set()
+        for _ in range(out_degree):
+            # Inverse-CDF sampling of a truncated power law over ids.
+            target = int(num_vertices * rng.random() ** exponent)
+            if target != vid and target < num_vertices:
+                targets.add(target)
+        yield vid, None, [(t, 1.0) for t in sorted(targets)]
+
+
+def btc_graph(num_vertices, avg_degree=8.94, seed=0):
+    """An undirected constant-degree graph with semantic-web diameter.
+
+    Two BTC properties matter to the paper's experiments: the constant
+    average degree of Table 4 (8.94 for every sample/scale-up) and a
+    sizable diameter — RDF entity graphs have long chains, which is what
+    makes SSSP *message-sparse* (few live vertices per superstep) and
+    the left-outer-join plan profitable (Figures 14a and 15). A uniform
+    random graph has diameter ~log n and dense frontiers, the opposite
+    behaviour; so the stand-in is a 3-D torus lattice (base degree 6,
+    diameter ~ 1.5 * V^(1/3)) with *locality-bounded* extra edges (or
+    random lattice-edge removals) tuning the average degree to target.
+    """
+    if num_vertices <= 0:
+        raise ValueError("num_vertices must be positive")
+    rng = random.Random(seed)
+    dims = 3
+    side = max(2, round(num_vertices ** (1.0 / dims)))
+    while side**dims < num_vertices:
+        side += 1
+
+    def coords(index):
+        out = []
+        for _ in range(dims):
+            out.append(index % side)
+            index //= side
+        return out
+
+    def index_of(point):
+        index = 0
+        for axis in reversed(range(dims)):
+            index = index * side + point[axis]
+        return index
+
+    adjacency = [set() for _ in range(num_vertices)]
+
+    def link(u, v):
+        if u != v and u < num_vertices and v < num_vertices:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+
+    for vid in range(num_vertices):
+        point = coords(vid)
+        for axis in range(dims):
+            forward = list(point)
+            forward[axis] = (forward[axis] + 1) % side
+            link(vid, index_of(forward))
+
+    current_degree = sum(len(n) for n in adjacency) / num_vertices
+    if current_degree > avg_degree:
+        # Remove random lattice edges until the average matches.
+        to_remove = int((current_degree - avg_degree) * num_vertices / 2)
+        for _ in range(to_remove):
+            u = rng.randrange(num_vertices)
+            if adjacency[u]:
+                v = rng.choice(sorted(adjacency[u]))
+                adjacency[u].discard(v)
+                adjacency[v].discard(u)
+    else:
+        # Add locality-bounded chords: long enough to vary degrees,
+        # short enough not to collapse the lattice diameter.
+        to_add = int((avg_degree - current_degree) * num_vertices / 2)
+        max_offset = max(2, side)
+        for _ in range(to_add):
+            u = rng.randrange(num_vertices)
+            offset = rng.randrange(2, max_offset + 1)
+            link(u, (u + offset) % num_vertices)
+
+    for vid in range(num_vertices):
+        yield vid, None, [(n, 1.0) for n in sorted(adjacency[vid])]
+
+
+def chain_graph(num_vertices, weight=1.0, bidirectional=False):
+    """A simple path 0 -> 1 -> ... -> n-1 (handy for SSSP tests)."""
+    for vid in range(num_vertices):
+        edges = []
+        if vid + 1 < num_vertices:
+            edges.append((vid + 1, weight))
+        if bidirectional and vid > 0:
+            edges.append((vid - 1, weight))
+        yield vid, None, edges
+
+
+def star_graph(num_leaves):
+    """Vertex 0 points at every leaf (a message-combining stress shape)."""
+    yield 0, None, [(leaf, 1.0) for leaf in range(1, num_leaves + 1)]
+    for leaf in range(1, num_leaves + 1):
+        yield leaf, None, [(0, 1.0)]
+
+
+def de_bruijn_path_graph(num_paths, path_length, seed=0):
+    """Disjoint simple paths with occasional branch tips.
+
+    The shape a genome assembler's De Bruijn graph has after initial
+    construction: long single paths (to be merged into one vertex each)
+    plus short dead-end branches (to be clipped). Used by the graph
+    cleaning / path merging case study.
+    """
+    rng = random.Random(seed)
+    vid = 0
+    for _path in range(num_paths):
+        start = vid
+        for position in range(path_length):
+            edges = []
+            if position + 1 < path_length:
+                edges.append((vid + 1, 1.0))
+            yield vid, None, edges
+            vid += 1
+        # A tip: a one-vertex dead-end branch off a random path position.
+        if path_length > 2 and rng.random() < 0.5:
+            anchor = start + rng.randrange(path_length - 1)
+            yield vid, None, [(anchor, 1.0)]
+            vid += 1
+
+
+def _heavy_tailed_degree(rng, mean, cap):
+    """A discrete Pareto-ish degree with the requested mean, capped."""
+    # Pareto with alpha=2 has mean 2*scale; solve scale for the mean.
+    scale = mean / 2.0
+    degree = int(scale / max(rng.random(), 1e-9) ** 0.5)
+    return min(degree, cap - 1, int(mean * 40) + 1)

@@ -1,0 +1,49 @@
+"""NetworkX interoperability.
+
+Downstream users usually already hold graphs as :mod:`networkx` objects;
+these adapters convert to and from the ``(vid, value, edges)`` tuples
+every loader and generator in this package speaks. Vertex ids are
+renumbered to a dense integer range when needed (Pregelix partitions and
+indexes by integer vid).
+"""
+
+
+def from_networkx(graph, weight_attribute="weight", default_weight=1.0):
+    """Convert a networkx (Di)Graph into ``(vid, value, edges)`` tuples.
+
+    Returns ``(vertices, id_map)`` where ``id_map`` maps original node
+    objects to the dense integer vids used in the output. Undirected
+    graphs produce both edge directions (the convention the BTC-style
+    datasets use). Node attribute ``"value"`` becomes the vertex value.
+    """
+    nodes = list(graph.nodes())
+    id_map = {node: vid for vid, node in enumerate(nodes)}
+    vertices = []
+    for node in nodes:
+        edges = []
+        for _u, v, data in graph.edges(node, data=True):
+            weight = data.get(weight_attribute, default_weight)
+            edges.append((id_map[v], float(weight)))
+        value = graph.nodes[node].get("value")
+        vertices.append((id_map[node], value, sorted(edges)))
+    return vertices, id_map
+
+
+def to_networkx(vertices, directed=True):
+    """Convert ``(vid, value, edges)`` tuples into a networkx graph."""
+    import networkx as nx
+
+    graph = nx.DiGraph() if directed else nx.Graph()
+    for vid, value, edges in vertices:
+        graph.add_node(vid, value=value)
+        for dest, weight in edges:
+            graph.add_edge(vid, dest, weight=weight)
+    return graph
+
+
+def results_to_networkx(graph, results, attribute="result"):
+    """Attach a ``{vid: value}`` result dict onto a networkx graph."""
+    for vid, value in results.items():
+        if vid in graph.nodes:
+            graph.nodes[vid][attribute] = value
+    return graph

@@ -1,0 +1,77 @@
+"""Down-sampling and scale-up, as the paper built its dataset ladder.
+
+Footnote 7: "We used a random walk graph sampler built on top of
+Pregelix to create scaled-down Webmap sample graphs of different sizes.
+To scale up the BTC data size, we deeply copied the original graph data
+and renumbered the duplicate vertices with a new set of identifiers."
+
+:func:`random_walk_sample` here is the stand-alone equivalent of that
+sampler (the Pregelix-native version lives in
+:mod:`repro.algorithms.graph_sampling`); :func:`scale_up_copy` is the
+copy-and-renumber scale-up.
+"""
+
+import random
+
+
+def random_walk_sample(vertices, target_vertices, seed=0, restart_probability=0.15):
+    """Induced subgraph over vertices visited by random walks.
+
+    :param vertices: iterable of ``(vid, value, edges)`` tuples.
+    :param target_vertices: stop once this many distinct vertices are hit.
+    :returns: list of renumbered ``(vid, value, edges)`` tuples.
+    """
+    graph = {vid: (value, edges) for vid, value, edges in vertices}
+    if not graph:
+        return []
+    target_vertices = min(int(target_vertices), len(graph))
+    rng = random.Random(seed)
+    ids = sorted(graph)
+    visited = set()
+    current = rng.choice(ids)
+    visited.add(current)
+    stall = 0
+    while len(visited) < target_vertices and stall < 50 * target_vertices:
+        stall += 1
+        edges = graph[current][1]
+        if not edges or rng.random() < restart_probability:
+            current = rng.choice(ids)
+        else:
+            current = edges[rng.randrange(len(edges))][0]
+            if current not in graph:
+                current = rng.choice(ids)
+        visited.add(current)
+    renumber = {vid: i for i, vid in enumerate(sorted(visited))}
+    sample = []
+    for vid in sorted(visited):
+        value, edges = graph[vid]
+        kept = [(renumber[dest], weight) for dest, weight in edges if dest in renumber]
+        sample.append((renumber[vid], value, kept))
+    return sample
+
+
+def scale_up_copy(vertices, copies):
+    """Deep-copy the graph ``copies`` times with renumbered vertex ids.
+
+    Copy ``k``'s vertex ``v`` becomes ``v + k * n`` where ``n`` is the
+    original vertex-id space; edges stay within their copy, exactly like
+    the paper's BTC scale-up (which preserves the 8.94 average degree).
+    """
+    if copies < 1:
+        raise ValueError("copies must be at least 1")
+    originals = list(vertices)
+    if not originals:
+        return []
+    id_space = max(vid for vid, _value, _edges in originals) + 1
+    scaled = []
+    for copy_index in range(copies):
+        offset = copy_index * id_space
+        for vid, value, edges in originals:
+            scaled.append(
+                (
+                    vid + offset,
+                    value,
+                    [(dest + offset, weight) for dest, weight in edges],
+                )
+            )
+    return scaled

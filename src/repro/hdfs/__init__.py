@@ -1,0 +1,12 @@
+"""A small in-process distributed file system (the paper's HDFS stand-in).
+
+Pregelix uses HDFS for four things: loading the initial ``Vertex``
+relation, dumping the final result, storing the primary copy of the global
+state ``GS``, and writing checkpoints. :class:`MiniDFS` provides all four,
+including block-granular replica placement so the scheduler can exploit
+data locality when placing scan tasks, exactly as Section 5.7 describes.
+"""
+
+from repro.hdfs.filesystem import MiniDFS, FileStatus, BlockLocation
+
+__all__ = ["MiniDFS", "FileStatus", "BlockLocation"]

@@ -1,0 +1,191 @@
+"""An in-process, block-structured distributed file system simulation.
+
+Files live in a flat ``/``-separated namespace. Each file is chopped into
+fixed-size blocks; every block is assigned ``replication`` datanode
+locations round-robin, so a scheduler can ask "where does this split
+live?" and place a scan task on one of those nodes — the locality
+optimization Section 5.7 of the paper attributes to the Pregelix
+scheduler.
+
+The bytes themselves are kept in memory (one process simulates the whole
+cluster); durability across *simulated* worker failures is exactly what
+checkpoint/recovery needs, because MiniDFS outlives any worker.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Placement of one block: byte range plus replica datanode ids."""
+
+    offset: int
+    length: int
+    hosts: tuple
+
+
+@dataclass(frozen=True)
+class FileStatus:
+    """Namenode-style metadata for a single file."""
+
+    path: str
+    length: int
+    block_size: int
+    replication: int
+
+
+class _File:
+    def __init__(self, blocks, block_size, locations):
+        self.blocks = blocks
+        self.block_size = block_size
+        self.locations = locations
+
+    @property
+    def length(self):
+        return sum(len(block) for block in self.blocks)
+
+    def data(self):
+        return b"".join(self.blocks)
+
+
+class MiniDFS:
+    """The simulated distributed file system.
+
+    :param datanodes: node identifiers replicas are spread across.
+    :param block_size: split granularity in bytes.
+    :param replication: replicas per block (capped at ``len(datanodes)``).
+    """
+
+    def __init__(self, datanodes=("node0",), block_size=1 << 16, replication=3):
+        if not datanodes:
+            raise ValueError("MiniDFS needs at least one datanode")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.datanodes = list(datanodes)
+        self.block_size = int(block_size)
+        self.replication = min(int(replication), len(self.datanodes))
+        self._files = {}
+        self._next_node = 0
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+    def exists(self, path):
+        return self._normalize(path) in self._files
+
+    def list_files(self, prefix=""):
+        """All file paths under ``prefix``, sorted."""
+        prefix = self._normalize(prefix) if prefix else ""
+        return sorted(path for path in self._files if path.startswith(prefix))
+
+    def delete(self, path, recursive=False):
+        """Remove a file, or a whole subtree when ``recursive``."""
+        path = self._normalize(path)
+        if recursive:
+            doomed = [p for p in self._files if p == path or p.startswith(path + "/")]
+            for p in doomed:
+                del self._files[p]
+            return bool(doomed)
+        if path in self._files:
+            del self._files[path]
+            return True
+        return False
+
+    def rename(self, src, dst):
+        src = self._normalize(src)
+        dst = self._normalize(dst)
+        if src not in self._files:
+            raise FileNotFoundError(src)
+        if dst in self._files:
+            raise FileExistsError(dst)
+        self._files[dst] = self._files.pop(src)
+
+    def status(self, path):
+        path = self._normalize(path)
+        handle = self._require(path)
+        return FileStatus(
+            path=path,
+            length=handle.length,
+            block_size=handle.block_size,
+            replication=self.replication,
+        )
+
+    # ------------------------------------------------------------------
+    # data operations
+    # ------------------------------------------------------------------
+    def write(self, path, data):
+        """Create (or replace) ``path`` with ``data`` bytes."""
+        path = self._normalize(path)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        blocks = [
+            bytes(data[i : i + self.block_size])
+            for i in range(0, len(data), self.block_size)
+        ] or [b""]
+        locations = [self._place_block() for _ in blocks]
+        self._files[path] = _File(blocks, self.block_size, locations)
+
+    def append(self, path, data):
+        """Append ``data`` to an existing file (creating it if missing)."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        existing = b""
+        if self.exists(path):
+            existing = self.read(path)
+        self.write(path, existing + data)
+
+    def read(self, path):
+        """Full contents of ``path`` as bytes."""
+        return self._require(self._normalize(path)).data()
+
+    def read_text(self, path):
+        return self.read(path).decode("utf-8")
+
+    def write_text_lines(self, path, lines):
+        self.write(path, "\n".join(lines) + ("\n" if lines else ""))
+
+    def read_text_lines(self, path):
+        text = self.read_text(path)
+        return text.splitlines()
+
+    def block_locations(self, path):
+        """Locality hints: one :class:`BlockLocation` per block."""
+        path = self._normalize(path)
+        handle = self._require(path)
+        locations = []
+        offset = 0
+        for block, hosts in zip(handle.blocks, handle.locations):
+            locations.append(BlockLocation(offset, len(block), tuple(hosts)))
+            offset += len(block)
+        return locations
+
+    def read_block(self, path, index):
+        """Raw bytes of one block (used by locality-aware scans)."""
+        handle = self._require(self._normalize(path))
+        return handle.blocks[index]
+
+    def total_bytes(self, prefix=""):
+        """Aggregate size of all files under ``prefix``."""
+        return sum(self._files[p].length for p in self.list_files(prefix))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _place_block(self):
+        hosts = []
+        for i in range(self.replication):
+            hosts.append(self.datanodes[(self._next_node + i) % len(self.datanodes)])
+        self._next_node = (self._next_node + 1) % len(self.datanodes)
+        return hosts
+
+    def _require(self, path):
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    @staticmethod
+    def _normalize(path):
+        if not path:
+            raise ValueError("empty path")
+        return "/" + path.strip("/")

@@ -1,0 +1,179 @@
+"""Connectors: inter-operator data redistribution (paper Section 4).
+
+Three patterns from the paper are implemented:
+
+* :class:`MToNPartitioningConnector` — repartition by a key function;
+  fully pipelined by default. Used with the re-grouping group-bys.
+* :class:`MToNPartitioningMergingConnector` — same routing, but assumes
+  each sender's stream is sorted and *merges* at the receiver so the
+  downstream pre-clustered group-by sees globally sorted input. The paper
+  pairs it with a sender-side materializing policy to avoid the
+  scheduling deadlocks known from the query-processing literature.
+* :class:`MToOneAggregatorConnector` — funnels every partition into one,
+  used by the second stage of global aggregation.
+
+Plus the trivial :class:`OneToOneConnector` for local pipelines.
+
+Byte accounting: a connector constructed with a ``tuple_serde`` measures
+the serialized volume it moves and charges the job's network counters —
+that is the signal behind the paper's observation that combiners become
+less effective as the cluster grows.
+"""
+
+import heapq
+
+from repro.hyracks.job import ConnectorDescriptor
+
+
+class OneToOneConnector(ConnectorDescriptor):
+    """Partition ``i`` of the producer feeds partition ``i`` of the consumer."""
+
+    def route(self, producer_outputs, num_consumers, ctx):
+        if len(producer_outputs) != num_consumers:
+            raise ValueError(
+                "one-to-one connector with %d producers and %d consumers"
+                % (len(producer_outputs), num_consumers)
+            )
+        return [list(batch) for batch in producer_outputs]
+
+
+class _AccountingMixin:
+    def _account(self, ctx, producer_partition, consumer_partition, tuples):
+        if ctx is None or not tuples:
+            return
+        remote = producer_partition != consumer_partition
+        if self.tuple_serde is not None:
+            nbytes = sum(self.tuple_serde.sizeof(item) for item in tuples)
+        else:
+            nbytes = 0
+        if remote:
+            ctx.io.record_network(nbytes, messages=len(tuples))
+        if self.materialization == ConnectorDescriptor.SENDER_SIDE_MATERIALIZED:
+            # The sender writes its outgoing stream to a local temp file
+            # and trickles it out; count the extra disk round trip.
+            ctx.io.record_write(nbytes)
+            ctx.io.record_read(nbytes)
+
+
+class MToNPartitioningConnector(ConnectorDescriptor, _AccountingMixin):
+    """Hash-partition tuples to consumers with a user partitioning function.
+
+    :param key_fn: extracts the partitioning key from a tuple.
+    :param tuple_serde: optional serde used purely for byte accounting.
+    :param partition_fn: maps ``(key, n)`` to a partition; defaults to
+        ``hash(key) % n`` (the paper's default hash partitioning).
+    """
+
+    def __init__(
+        self,
+        key_fn,
+        tuple_serde=None,
+        partition_fn=None,
+        materialization=ConnectorDescriptor.PIPELINED,
+    ):
+        super().__init__(materialization)
+        self.key_fn = key_fn
+        self.tuple_serde = tuple_serde
+        self.partition_fn = partition_fn or (lambda key, n: hash(key) % n)
+
+    def route(self, producer_outputs, num_consumers, ctx):
+        consumers = [[] for _ in range(num_consumers)]
+        staged = [
+            [[] for _ in range(num_consumers)] for _ in range(len(producer_outputs))
+        ]
+        for sender, batch in enumerate(producer_outputs):
+            for item in batch:
+                dest = self.partition_fn(self.key_fn(item), num_consumers)
+                staged[sender][dest].append(item)
+        for sender, per_consumer in enumerate(staged):
+            for dest, tuples in enumerate(per_consumer):
+                self._account(ctx, sender, dest, tuples)
+                consumers[dest].extend(tuples)
+        return consumers
+
+
+class MToNPartitioningMergingConnector(ConnectorDescriptor, _AccountingMixin):
+    """Partitioning connector that merge-sorts at the receiver side.
+
+    Senders must emit streams already sorted by ``sort_key_fn``; each
+    receiver heap-merges the per-sender streams, so its output is sorted
+    without any re-grouping work downstream. Default materialization is
+    sender-side materializing, matching Section 5.3.1's deadlock-avoidance
+    policy.
+    """
+
+    def __init__(self, key_fn, sort_key_fn=None, tuple_serde=None, partition_fn=None):
+        super().__init__(ConnectorDescriptor.SENDER_SIDE_MATERIALIZED)
+        self.key_fn = key_fn
+        self.sort_key_fn = sort_key_fn or key_fn
+        self.tuple_serde = tuple_serde
+        self.partition_fn = partition_fn or (lambda key, n: hash(key) % n)
+
+    def route(self, producer_outputs, num_consumers, ctx):
+        staged = [
+            [[] for _ in range(len(producer_outputs))] for _ in range(num_consumers)
+        ]
+        for sender, batch in enumerate(producer_outputs):
+            previous = None
+            for item in batch:
+                sort_key = self.sort_key_fn(item)
+                if previous is not None and sort_key < previous:
+                    raise ValueError(
+                        "merging connector requires sorted sender streams"
+                    )
+                previous = sort_key
+                dest = self.partition_fn(self.key_fn(item), num_consumers)
+                staged[dest][sender].append(item)
+        consumers = []
+        for dest, per_sender in enumerate(staged):
+            for sender, tuples in enumerate(per_sender):
+                self._account(ctx, sender, dest, tuples)
+            merged = list(
+                heapq.merge(*per_sender, key=self.sort_key_fn)
+            )
+            consumers.append(merged)
+        return consumers
+
+
+class MToOneAggregatorConnector(ConnectorDescriptor, _AccountingMixin):
+    """Reduces every producer partition into consumer partition 0."""
+
+    def __init__(self, tuple_serde=None):
+        super().__init__(ConnectorDescriptor.PIPELINED)
+        self.tuple_serde = tuple_serde
+
+    def route(self, producer_outputs, num_consumers, ctx):
+        consumers = [[] for _ in range(num_consumers)]
+        for sender, batch in enumerate(producer_outputs):
+            self._account(ctx, sender, 0, batch)
+            consumers[0].extend(batch)
+        return consumers
+
+
+class BroadcastConnector(ConnectorDescriptor, _AccountingMixin):
+    """Replicates every tuple to every consumer partition.
+
+    Not in the paper's core plans, but used by the loader to distribute
+    small side information (e.g. partition maps) and handy for tests.
+    """
+
+    def __init__(self, tuple_serde=None):
+        super().__init__(ConnectorDescriptor.PIPELINED)
+        self.tuple_serde = tuple_serde
+
+    def route(self, producer_outputs, num_consumers, ctx):
+        consumers = [[] for _ in range(num_consumers)]
+        for sender, batch in enumerate(producer_outputs):
+            for dest in range(num_consumers):
+                self._account(ctx, sender, dest, batch)
+                consumers[dest].extend(batch)
+        return consumers
+
+
+def vid_partitioner(num_partitions):
+    """The default Pregelix partitioning function: hash of the vertex id."""
+
+    def partition(vid, n=num_partitions):
+        return hash(vid) % n
+
+    return partition

@@ -1,0 +1,320 @@
+"""The simulated Hyracks cluster: node contexts and job execution.
+
+A :class:`HyracksCluster` owns a set of worker :class:`NodeContext`\\ s —
+each with a private memory budget, file manager, and buffer cache — plus
+a master-side scheduler. :meth:`HyracksCluster.execute` runs a
+:class:`~repro.hyracks.job.JobSpec`: operators execute in topological
+order, one clone per partition, with connectors redistributing tuples in
+between; every clone sees only its own node's local services and storage,
+preserving the shared-nothing discipline.
+
+Substitution note (see DESIGN.md): clones run sequentially in one Python
+process rather than as JVM tasks on separate machines. All byte-level
+behaviour — budgets, spills, network volume — is accounted per node, so
+dataset-size-versus-RAM phenomena survive the substitution; wall-clock
+numbers are simulation-scale.
+"""
+
+import os
+import tempfile
+import time
+from collections import OrderedDict
+
+from repro.common.accounting import Counters, IOCounters, MemoryBudget
+from repro.common.errors import JobFailure, WorkerFailure
+from repro.hyracks.scheduler import Scheduler
+
+#: Default per-node RAM budget: 64 MB of simulated worker memory.
+DEFAULT_NODE_MEMORY = 64 << 20
+#: Default buffer-cache share of node memory (the paper uses RAM/4).
+DEFAULT_CACHE_FRACTION = 0.25
+DEFAULT_PAGE_SIZE = 4096
+
+
+class NodeContext:
+    """One shared-nothing worker: budget, local disk, cache, services."""
+
+    def __init__(self, node_id, root_dir, memory_bytes, cache_bytes, page_size):
+        from repro.hyracks.storage.buffer_cache import BufferCache
+        from repro.hyracks.storage.file_manager import FileManager
+
+        self.node_id = node_id
+        self.io = IOCounters()
+        self.files = FileManager(os.path.join(root_dir, str(node_id)), self.io)
+        self.budget = MemoryBudget(memory_bytes, name=str(node_id))
+        self.buffer_cache = BufferCache(cache_bytes, page_size, self.files)
+        self.services = {}
+        self.alive = True
+        self._fail_after_tasks = None
+        self._failure_kind = "interruption"
+
+    def inject_failure(self, after_tasks=0, kind="interruption"):
+        """Arrange for this node to die after ``after_tasks`` more tasks.
+
+        ``kind`` distinguishes machine interruptions from disk I/O
+        faults; both are recoverable by the Pregelix failure manager,
+        while unknown kinds are forwarded to the user (Section 5.7).
+        """
+        self._fail_after_tasks = int(after_tasks)
+        self._failure_kind = kind
+
+    def check_failure(self):
+        if not self.alive:
+            raise WorkerFailure(self.node_id)
+        if self._fail_after_tasks is not None:
+            if self._fail_after_tasks <= 0:
+                self.alive = False
+                self._fail_after_tasks = None
+                raise WorkerFailure(self.node_id, kind=self._failure_kind)
+            self._fail_after_tasks -= 1
+
+    def reset_storage(self):
+        """Wipe local state (what losing a machine loses)."""
+        self.services.clear()
+        self.buffer_cache.__init__(
+            self.buffer_cache.capacity, self.buffer_cache.page_size, self.files
+        )
+        self.budget.reset()
+
+
+class TaskContext:
+    """What one operator clone sees while running."""
+
+    __slots__ = ("node", "job", "partition", "num_partitions")
+
+    def __init__(self, node, job, partition, num_partitions):
+        self.node = node
+        self.job = job
+        self.partition = partition
+        self.num_partitions = num_partitions
+
+    @property
+    def files(self):
+        return self.node.files
+
+    @property
+    def budget(self):
+        return self.node.budget
+
+    @property
+    def buffer_cache(self):
+        return self.node.buffer_cache
+
+    @property
+    def services(self):
+        return self.node.services
+
+    @property
+    def io(self):
+        return self.node.io
+
+
+class JobContext:
+    """Master-side per-job state shared by connectors and sinks."""
+
+    def __init__(self, name):
+        self.name = name
+        self.io = IOCounters()  # network traffic (connector accounting)
+        self.counters = Counters()
+        self.collected = {}
+
+
+class JobResult:
+    """What :meth:`HyracksCluster.execute` returns."""
+
+    def __init__(self, name, collected, counters, network_io, disk_io, elapsed, operator_seconds, cache_misses=0, cache_writebacks=0):
+        self.name = name
+        self.collected = collected
+        self.counters = counters
+        self.network_io = network_io
+        self.disk_io = disk_io
+        self.elapsed = elapsed
+        self.operator_seconds = operator_seconds
+        self.cache_misses = cache_misses
+        self.cache_writebacks = cache_writebacks
+
+    def gather(self, key):
+        """Concatenate a CollectSink's per-partition output lists."""
+        merged = []
+        for partition in sorted(self.collected.get(key, {})):
+            merged.extend(self.collected[key][partition])
+        return merged
+
+    def __repr__(self):
+        return "JobResult(%s, %.3fs)" % (self.name, self.elapsed)
+
+
+class HyracksCluster:
+    """A simulated shared-nothing cluster executing operator DAG jobs.
+
+    :param num_nodes: worker count ("machines" on the figures' x-axes).
+    :param node_memory_bytes: per-worker simulated RAM budget.
+    :param buffer_cache_bytes: per-worker cache budget; defaults to a
+        quarter of node memory, the paper's default.
+    :param partitions_per_node: data partitions per worker (the paper
+        assigns one per core).
+    """
+
+    def __init__(
+        self,
+        num_nodes=4,
+        node_memory_bytes=DEFAULT_NODE_MEMORY,
+        buffer_cache_bytes=None,
+        page_size=DEFAULT_PAGE_SIZE,
+        root_dir=None,
+        partitions_per_node=1,
+    ):
+        if buffer_cache_bytes is None:
+            buffer_cache_bytes = int(node_memory_bytes * DEFAULT_CACHE_FRACTION)
+        self.root_dir = root_dir or tempfile.mkdtemp(prefix="repro-hyracks-")
+        self._owns_root = root_dir is None
+        self.node_memory_bytes = int(node_memory_bytes)
+        self.buffer_cache_bytes = int(buffer_cache_bytes)
+        self.page_size = int(page_size)
+        self.nodes = OrderedDict()
+        for i in range(num_nodes):
+            node_id = "node%d" % i
+            self.nodes[node_id] = NodeContext(
+                node_id, self.root_dir, node_memory_bytes, buffer_cache_bytes, page_size
+            )
+        self.scheduler = Scheduler(partitions_per_node)
+        self.jobs_executed = 0
+
+    # ------------------------------------------------------------------
+    # cluster membership
+    # ------------------------------------------------------------------
+    def node_ids(self):
+        return list(self.nodes)
+
+    def alive_node_ids(self):
+        return [node_id for node_id, node in self.nodes.items() if node.alive]
+
+    def kill_node(self, node_id):
+        """Simulate a machine loss: mark dead and wipe its local state."""
+        node = self.nodes[node_id]
+        node.alive = False
+        node.reset_storage()
+
+    def revive_node(self, node_id):
+        self.nodes[node_id].alive = True
+
+    @property
+    def num_partitions(self):
+        return len(self.alive_node_ids()) * self.scheduler.default_partitions_per_node
+
+    def aggregate_memory_bytes(self):
+        """Aggregated RAM of alive workers (the figures' denominator)."""
+        return self.node_memory_bytes * len(self.alive_node_ids())
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, job_spec):
+        """Run ``job_spec`` to completion and return a :class:`JobResult`."""
+        started = time.perf_counter()
+        placement = self.scheduler.place(job_spec, self.alive_node_ids())
+        job_ctx = JobContext(job_spec.name)
+        disk_before = self._disk_snapshot()
+        cache_before = self._cache_snapshot()
+        outputs = {}
+        operator_seconds = {}
+        for operator in job_spec.topological_order():
+            locations = placement[operator.op_id]
+            num_partitions = len(locations)
+            input_edges = job_spec.inputs_of(operator)
+            routed_inputs = []
+            for edge in input_edges:
+                produced = outputs.get((edge.producer.op_id, edge.port))
+                if produced is None:
+                    raise JobFailure(
+                        "operator %r consumes unknown port %r of %r"
+                        % (operator, edge.port, edge.producer)
+                    )
+                routed_inputs.append(
+                    edge.connector.route(produced, num_partitions, job_ctx)
+                )
+            operator.initialize(job_ctx)
+            per_port = {}
+            op_elapsed = 0.0
+            for partition in range(num_partitions):
+                node = self.nodes[locations[partition]]
+                try:
+                    node.check_failure()
+                except WorkerFailure as failure:
+                    raise JobFailure(str(failure), cause=failure) from failure
+                ctx = TaskContext(node, job_ctx, partition, num_partitions)
+                clone_inputs = [routed[partition] for routed in routed_inputs]
+                clone_started = time.perf_counter()
+                try:
+                    result = operator.run(ctx, partition, clone_inputs) or {}
+                except WorkerFailure as failure:
+                    raise JobFailure(str(failure), cause=failure) from failure
+                op_elapsed += time.perf_counter() - clone_started
+                for port, tuples in result.items():
+                    per_port.setdefault(port, {})[partition] = tuples
+            operator.finalize(job_ctx)
+            operator_seconds[operator.name] = (
+                operator_seconds.get(operator.name, 0.0) + op_elapsed
+            )
+            ports = set(per_port)
+            for edge in job_spec.outputs_of(operator):
+                ports.add(edge.port)
+            for port in ports:
+                outputs[(operator.op_id, port)] = [
+                    per_port.get(port, {}).get(p, []) for p in range(num_partitions)
+                ]
+        self.jobs_executed += 1
+        disk_after = self._disk_snapshot()
+        disk_delta = IOCounters()
+        disk_delta.disk_reads = disk_after.disk_reads - disk_before.disk_reads
+        disk_delta.disk_writes = disk_after.disk_writes - disk_before.disk_writes
+        disk_delta.disk_read_bytes = (
+            disk_after.disk_read_bytes - disk_before.disk_read_bytes
+        )
+        disk_delta.disk_write_bytes = (
+            disk_after.disk_write_bytes - disk_before.disk_write_bytes
+        )
+        cache_after = self._cache_snapshot()
+        return JobResult(
+            name=job_spec.name,
+            collected=job_ctx.collected,
+            counters=job_ctx.counters,
+            network_io=job_ctx.io,
+            disk_io=disk_delta,
+            elapsed=time.perf_counter() - started,
+            operator_seconds=operator_seconds,
+            cache_misses=cache_after[0] - cache_before[0],
+            cache_writebacks=cache_after[1] - cache_before[1],
+        )
+
+    def _cache_snapshot(self):
+        misses = 0
+        writebacks = 0
+        for node in self.nodes.values():
+            misses += node.buffer_cache.stats.misses
+            writebacks += node.buffer_cache.stats.writebacks
+        return misses, writebacks
+
+    def _disk_snapshot(self):
+        total = IOCounters()
+        for node in self.nodes.values():
+            total.merge(node.io)
+        return total
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        import shutil
+
+        for node in self.nodes.values():
+            node.files.close()
+        if self._owns_root:
+            shutil.rmtree(self.root_dir, ignore_errors=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

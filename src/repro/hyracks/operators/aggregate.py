@@ -1,0 +1,141 @@
+"""Two-stage global aggregation (paper Section 5.3.3).
+
+Each worker pre-aggregates its local stream with a
+:class:`LocalAggregateOperator`; an aggregator connector funnels the
+partial states to a single :class:`GlobalAggregateOperator` clone, which
+merges them and emits the final value. Pregelix uses two instances per
+superstep: a boolean-AND over halting contributions and the user's
+``aggregate`` UDF over global-aggregate contributions.
+"""
+
+from repro.hyracks.job import OperatorDescriptor
+
+
+class ScalarAggregator:
+    """Keyless aggregation contract for the two-stage global aggregate."""
+
+    def create(self):
+        raise NotImplementedError
+
+    def step(self, state, item):
+        raise NotImplementedError
+
+    def merge(self, left, right):
+        raise NotImplementedError
+
+    def finish(self, state):
+        return state
+
+
+class BoolAndAggregator(ScalarAggregator):
+    """Logical AND over boolean contributions (the global halt state)."""
+
+    def create(self):
+        return True
+
+    def step(self, state, item):
+        return state and bool(item)
+
+    def merge(self, left, right):
+        return left and right
+
+
+class SumAggregator(ScalarAggregator):
+    """Numeric sum (a common user aggregate)."""
+
+    def create(self):
+        return 0
+
+    def step(self, state, item):
+        return state + item
+
+    def merge(self, left, right):
+        return left + right
+
+
+class MinAggregator(ScalarAggregator):
+    """Minimum, ignoring ``None`` contributions."""
+
+    def create(self):
+        return None
+
+    def step(self, state, item):
+        if item is None:
+            return state
+        return item if state is None else min(state, item)
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return min(left, right)
+
+
+class MaxAggregator(ScalarAggregator):
+    """Maximum, ignoring ``None`` contributions."""
+
+    def create(self):
+        return None
+
+    def step(self, state, item):
+        if item is None:
+            return state
+        return item if state is None else max(state, item)
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return max(left, right)
+
+
+class CountAggregator(ScalarAggregator):
+    """Counts contributions."""
+
+    def create(self):
+        return 0
+
+    def step(self, state, item):
+        return state + 1
+
+    def merge(self, left, right):
+        return left + right
+
+
+class LocalAggregateOperator(OperatorDescriptor):
+    """Stage one: fold a partition's stream into one partial state."""
+
+    def __init__(self, aggregator, name=None):
+        super().__init__(name or "LocalAggregate")
+        self.aggregator = aggregator
+
+    def run(self, ctx, partition, inputs):
+        (stream,) = inputs
+        state = self.aggregator.create()
+        for item in stream:
+            state = self.aggregator.step(state, item)
+        return {self.OUT: [state]}
+
+
+class GlobalAggregateOperator(OperatorDescriptor):
+    """Stage two: merge all partial states and emit the final value.
+
+    Only partition 0 receives input (via the aggregator connector); other
+    clones emit nothing.
+    """
+
+    def __init__(self, aggregator, name=None):
+        super().__init__(name or "GlobalAggregate")
+        self.aggregator = aggregator
+
+    def run(self, ctx, partition, inputs):
+        (stream,) = inputs
+        partials = list(stream)
+        if not partials:
+            return {self.OUT: []}
+        state = partials[0]
+        for partial in partials[1:]:
+            state = self.aggregator.merge(state, partial)
+        return {self.OUT: [self.aggregator.finish(state)]}

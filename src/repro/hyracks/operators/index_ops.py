@@ -1,0 +1,100 @@
+"""Index access operators: scan, bulk load, and insert/delete.
+
+Indexes live in each node's *runtime context* (the per-worker service
+registry that, as in the paper, outlives individual jobs — the ``Vertex``
+index must persist across the per-superstep jobs). They are addressed by
+``(name, partition)``.
+"""
+
+from repro.common.errors import StorageError
+from repro.hyracks.job import OperatorDescriptor
+
+_REGISTRY = "indexes"
+
+
+def register_index(ctx, name, partition, index):
+    """Publish ``index`` in the node's runtime context."""
+    ctx.services.setdefault(_REGISTRY, {})[(name, partition)] = index
+
+
+def get_index(ctx, name, partition):
+    """Look up a registered index; raises if missing."""
+    try:
+        return ctx.services[_REGISTRY][(name, partition)]
+    except KeyError:
+        raise StorageError(
+            "no index %r partition %d registered on node %s"
+            % (name, partition, ctx.node.node_id)
+        ) from None
+
+
+def drop_index(ctx, name, partition):
+    """Remove and destroy a registered index, if present."""
+    registry = ctx.services.get(_REGISTRY, {})
+    index = registry.pop((name, partition), None)
+    if index is not None and hasattr(index, "destroy"):
+        index.destroy()
+
+
+class IndexScanOperator(OperatorDescriptor):
+    """Emits ``(key, value)`` pairs of the partition's registered index."""
+
+    def __init__(self, index_name, low=None, high=None, name=None):
+        super().__init__(name or "IndexScan(%s)" % index_name)
+        self.index_name = index_name
+        self.low = low
+        self.high = high
+
+    def run(self, ctx, partition, inputs):
+        index = get_index(ctx, self.index_name, partition)
+        return {self.OUT: list(index.scan(self.low, self.high))}
+
+
+class IndexBulkLoadOperator(OperatorDescriptor):
+    """Bulk loads sorted ``(key, value)`` input into a fresh index.
+
+    Any existing index under the same name is destroyed first, so the
+    operator is idempotent across supersteps (the ``Vid`` index of the
+    left-outer-join plan is rebuilt each superstep this way).
+    """
+
+    def __init__(self, index_name, index_factory, name=None):
+        super().__init__(name or "IndexBulkLoad(%s)" % index_name)
+        self.index_name = index_name
+        self.index_factory = index_factory
+
+    def run(self, ctx, partition, inputs):
+        (stream,) = inputs
+        drop_index(ctx, self.index_name, partition)
+        index = self.index_factory(ctx, partition)
+        index.bulk_load(stream)
+        register_index(ctx, self.index_name, partition, index)
+        return {}
+
+
+#: Mutation opcodes consumed by :class:`IndexInsertDeleteOperator`.
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+
+
+class IndexInsertDeleteOperator(OperatorDescriptor):
+    """Applies ``(op, key, value)`` mutations to the registered index."""
+
+    def __init__(self, index_name, name=None):
+        super().__init__(name or "IndexInsertDelete(%s)" % index_name)
+        self.index_name = index_name
+
+    def run(self, ctx, partition, inputs):
+        (stream,) = inputs
+        mutations = list(stream)
+        if not mutations:
+            return {}
+        index = get_index(ctx, self.index_name, partition)
+        for op, key, value in mutations:
+            if op == OP_INSERT:
+                index.insert(key, value)
+            elif op == OP_DELETE:
+                index.delete(key)
+            else:
+                raise StorageError("unknown index mutation opcode %r" % (op,))
+        return {}

@@ -1,0 +1,123 @@
+"""Constraint-based task placement (paper Section 4, "task scheduling").
+
+Hyracks lets a client attach scheduling constraints to each operator; the
+scheduler is a small constraint solver that produces a placement
+satisfying them. Pregelix uses *absolute* location constraints to keep the
+join and group-by clones sticky on the nodes that store the corresponding
+``Vertex`` partitions across all supersteps (Section 5.3.4), and *choice*
+constraints to place HDFS scans near their blocks (Section 5.7).
+"""
+
+from repro.common.errors import SchedulingError
+
+
+class PartitionConstraint:
+    """Base class for operator partition constraints."""
+
+    def solve(self, alive_nodes):
+        """Return the node id for each partition, as a list."""
+        raise NotImplementedError
+
+
+class AbsoluteLocationConstraint(PartitionConstraint):
+    """Partition ``i`` must run exactly on ``locations[i]``."""
+
+    def __init__(self, locations):
+        if not locations:
+            raise SchedulingError("absolute constraint needs at least one location")
+        self.locations = list(locations)
+
+    def solve(self, alive_nodes):
+        alive = set(alive_nodes)
+        missing = [node for node in self.locations if node not in alive]
+        if missing:
+            raise SchedulingError(
+                "absolute constraint requires dead/unknown nodes: %r" % (missing,)
+            )
+        return list(self.locations)
+
+
+class ChoiceLocationConstraint(PartitionConstraint):
+    """Partition ``i`` may run on any node in ``choices[i]``.
+
+    The solver picks the feasible choice with the lowest load so far,
+    which is how HDFS-scan clones end up next to their blocks while still
+    balancing across replicas.
+    """
+
+    def __init__(self, choices):
+        if not choices:
+            raise SchedulingError("choice constraint needs at least one partition")
+        self.choices = [list(options) for options in choices]
+
+    def solve(self, alive_nodes):
+        alive = set(alive_nodes)
+        load = {node: 0 for node in alive_nodes}
+        placement = []
+        for index, options in enumerate(self.choices):
+            feasible = [node for node in options if node in alive]
+            if not feasible:
+                raise SchedulingError(
+                    "partition %d has no alive candidate among %r" % (index, options)
+                )
+            chosen = min(feasible, key=lambda node: (load[node], node))
+            load[chosen] += 1
+            placement.append(chosen)
+        return placement
+
+
+class CountConstraint(PartitionConstraint):
+    """Run ``count`` partitions anywhere; the solver balances round-robin."""
+
+    def __init__(self, count):
+        if count <= 0:
+            raise SchedulingError("count constraint must be positive")
+        self.count = int(count)
+
+    def solve(self, alive_nodes):
+        nodes = list(alive_nodes)
+        if not nodes:
+            raise SchedulingError("no alive nodes to place a count constraint on")
+        return [nodes[i % len(nodes)] for i in range(self.count)]
+
+
+class Scheduler:
+    """Solves the placement of every operator in a job."""
+
+    def __init__(self, default_partitions_per_node=1):
+        self.default_partitions_per_node = default_partitions_per_node
+
+    def place(self, job_spec, alive_nodes):
+        """Return ``{op_id: [node_id per partition]}`` for ``job_spec``.
+
+        Operators without an explicit constraint default to one partition
+        per alive node (the "as many partitions as cores" policy of the
+        Pregelix scheduler, with one simulated core per node).
+        """
+        alive = list(alive_nodes)
+        if not alive:
+            raise SchedulingError("cluster has no alive nodes")
+        placement = {}
+        for operator in job_spec.operators:
+            constraint = operator.partition_constraint
+            if constraint is None:
+                constraint = CountConstraint(
+                    len(alive) * self.default_partitions_per_node
+                )
+            placement[operator.op_id] = constraint.solve(alive)
+        self._check_one_to_one_edges(job_spec, placement)
+        return placement
+
+    @staticmethod
+    def _check_one_to_one_edges(job_spec, placement):
+        from repro.hyracks.connectors import OneToOneConnector
+
+        for edge in job_spec.edges:
+            if isinstance(edge.connector, OneToOneConnector):
+                producers = len(placement[edge.producer.op_id])
+                consumers = len(placement[edge.consumer.op_id])
+                if producers != consumers:
+                    raise SchedulingError(
+                        "one-to-one connector between %r (%d parts) and %r (%d parts)"
+                        % (edge.producer, producers, edge.consumer, consumers)
+                    )

@@ -1,0 +1,325 @@
+"""A page-based B+-tree running entirely through the buffer cache.
+
+This is the default ``Vertex`` storage of Pregelix (paper Section 5.2):
+it supports efficient lookups, ordered scans, and in-place updates, and —
+because every page access goes through the LRU buffer cache — it spills
+transparently once the tree outgrows the cache budget.
+
+Layout
+------
+Interior pages store ``(separator_key, child_page_no)`` entries; entry
+``i`` routes keys in ``[keys[i], keys[i+1])``. The root's first separator
+is the empty byte string (minus infinity). Leaf pages store records and
+are chained left-to-right through ``next_page_no`` for range scans.
+Records whose value exceeds a quarter of the page are moved to a chain of
+dedicated overflow (DATA) pages, with a small pointer left in the leaf.
+
+Concurrent-update tolerance
+---------------------------
+Scans snapshot one leaf at a time and watch a structural-modification
+counter; if a split happens while a scan is live (the Pregelix compute
+mini-operator inserts vertices during the join scan), the cursor re-seeks
+past the last key it returned instead of trusting stale page links.
+
+Deletes do not rebalance (no page merging); emptied pages stay in the
+chain. That matches the workload: Pregel graph mutations are a trickle
+compared to updates, and the LSM variant exists for delete-heavy jobs.
+"""
+
+import bisect
+import struct
+
+from repro.common.errors import StorageError
+from repro.hyracks.storage.index import Index
+from repro.hyracks.storage.pages import ENTRY_OVERHEAD, PAGE_OVERHEAD, PageId, PageKind
+
+_CHILD = struct.Struct(">q")
+_OVERFLOW_HEADER = struct.Struct(">qI")  # first overflow page, total length
+_OVERFLOW_MARK = b"\x01"
+_INLINE_MARK = b"\x00"
+
+
+class BTree(Index):
+    """A B+-tree over ``(bytes, bytes)`` records inside one paged file.
+
+    :param buffer_cache: the node's :class:`BufferCache`.
+    :param name: file name hint (useful when inspecting spill directories).
+    """
+
+    def __init__(self, buffer_cache, name=None):
+        self.cache = buffer_cache
+        self.file_id = buffer_cache.create_file(name)
+        self.smo_counter = 0
+        self._count = 0
+        root = self.cache.new_page(self.file_id, PageKind.LEAF)
+        self.root_page_no = root.page_id.page_no
+        self.cache.unpin(root, dirty=True)
+        capacity = buffer_cache.page_size
+        self._inline_limit = max(64, (capacity - PAGE_OVERHEAD) // 3)
+        self._chunk_limit = capacity - PAGE_OVERHEAD - ENTRY_OVERHEAD
+
+    # ------------------------------------------------------------------
+    # Index interface
+    # ------------------------------------------------------------------
+    def insert(self, key, value):
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("keys must be bytes")
+        stored = self._encode_value(key, value)
+        leaf, path = self._descend(key, for_write=True)
+        if leaf.find(key) is not None:
+            leaf.remove(key)
+            self._count -= 1
+        self._insert_into_leaf(leaf, path, key, stored)
+        self._count += 1
+
+    def delete(self, key):
+        leaf, _path = self._descend(key, for_write=True)
+        try:
+            removed = leaf.remove(key)
+        finally:
+            self.cache.unpin(leaf, dirty=True)
+        if removed:
+            self._count -= 1
+        return removed
+
+    def lookup(self, key):
+        leaf, _path = self._descend(key, for_write=False)
+        try:
+            index = leaf.find(key)
+            if index is None:
+                return None
+            return self._decode_value(leaf.values[index])
+        finally:
+            self.cache.unpin(leaf)
+
+    def scan(self, low=None, high=None):
+        page_no = self._leftmost_leaf() if low is None else self._leaf_for(low)
+        resume_key = low
+        resume_exclusive = False
+        while page_no != -1:
+            page = self.cache.pin(PageId(self.file_id, page_no))
+            keys = list(page.keys)
+            values = list(page.values)
+            next_page_no = page.next_page_no
+            self.cache.unpin(page)
+            version = self.smo_counter
+
+            if resume_key is None:
+                start = 0
+            elif resume_exclusive:
+                start = bisect.bisect_right(keys, resume_key)
+            else:
+                start = bisect.bisect_left(keys, resume_key)
+
+            last_key = resume_key
+            for i in range(start, len(keys)):
+                if high is not None and keys[i] >= high:
+                    return
+                last_key = keys[i]
+                yield keys[i], self._decode_value(values[i])
+
+            if self.smo_counter != version and last_key is not None:
+                # A split moved entries while the consumer held the floor;
+                # re-locate the first key strictly past what we returned.
+                page_no = self._leaf_for(last_key)
+                resume_key = last_key
+                resume_exclusive = True
+            else:
+                page_no = next_page_no
+                resume_key = None
+                resume_exclusive = False
+
+    def bulk_load(self, pairs):
+        if self._count:
+            raise StorageError("bulk_load requires an empty B-tree")
+        level = []  # (first_key, page_no) of each leaf, left to right
+        page = None
+        previous_key = None
+        for key, value in pairs:
+            if previous_key is not None and key <= previous_key:
+                raise StorageError("bulk_load input must have strictly increasing keys")
+            previous_key = key
+            stored = self._encode_value(key, value)
+            if page is None:
+                # Reuse the pre-allocated empty root leaf as the first leaf.
+                page = self.cache.pin(PageId(self.file_id, self.root_page_no))
+                level.append((key, page.page_id.page_no))
+            elif not page.fits(key, stored):
+                fresh = self.cache.new_page(self.file_id, PageKind.LEAF)
+                page.next_page_no = fresh.page_id.page_no
+                self.cache.unpin(page, dirty=True)
+                page = fresh
+                level.append((key, page.page_id.page_no))
+            page.put(key, stored)
+            self._count += 1
+        if page is not None:
+            self.cache.unpin(page, dirty=True)
+        if len(level) > 1:
+            self._build_interior_levels(level)
+
+    def __len__(self):
+        return self._count
+
+    def close(self):
+        self.cache.flush_file(self.file_id)
+
+    def destroy(self):
+        """Drop the tree's file entirely (used when rebuilding an index)."""
+        self.cache.delete_file(self.file_id)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # descent and split machinery
+    # ------------------------------------------------------------------
+    def _descend(self, key, for_write):
+        """Walk to the leaf for ``key``; returns (pinned leaf, parent path)."""
+        path = []
+        page_no = self.root_page_no
+        while True:
+            page = self.cache.pin(PageId(self.file_id, page_no))
+            if page.kind == PageKind.LEAF:
+                return page, path
+            index = page.child_index(key)
+            child = _CHILD.unpack(page.values[index])[0]
+            if for_write:
+                path.append(page_no)
+            self.cache.unpin(page)
+            page_no = child
+
+    def _leftmost_leaf(self):
+        page_no = self.root_page_no
+        while True:
+            page = self.cache.pin(PageId(self.file_id, page_no))
+            try:
+                if page.kind == PageKind.LEAF:
+                    return page_no
+                page_no = _CHILD.unpack(page.values[0])[0]
+            finally:
+                self.cache.unpin(page)
+
+    def _leaf_for(self, key):
+        leaf, _path = self._descend(key, for_write=False)
+        page_no = leaf.page_id.page_no
+        self.cache.unpin(leaf)
+        return page_no
+
+    def _insert_into_leaf(self, leaf, path, key, stored):
+        if leaf.fits(key, stored):
+            leaf.put(key, stored)
+            self.cache.unpin(leaf, dirty=True)
+            return
+        right = self.cache.new_page(self.file_id, PageKind.LEAF)
+        separator = leaf.split_into(right)
+        self.smo_counter += 1
+        target = right if key >= separator else leaf
+        if not target.fits(key, stored):
+            raise StorageError("record does not fit a freshly split page")
+        target.put(key, stored)
+        right_no = right.page_id.page_no
+        self.cache.unpin(leaf, dirty=True)
+        self.cache.unpin(right, dirty=True)
+        self._insert_separator(path, separator, right_no)
+
+    def _insert_separator(self, path, separator, child_no):
+        child_ref = _CHILD.pack(child_no)
+        if not path:
+            self._grow_new_root(separator, child_ref)
+            return
+        parent_no = path.pop()
+        parent = self.cache.pin(PageId(self.file_id, parent_no))
+        if parent.fits(separator, child_ref):
+            parent.put(separator, child_ref)
+            self.cache.unpin(parent, dirty=True)
+            return
+        right = self.cache.new_page(self.file_id, PageKind.INTERIOR)
+        promoted = parent.split_into(right)
+        self.smo_counter += 1
+        target = right if separator >= promoted else parent
+        if not target.fits(separator, child_ref):
+            raise StorageError("separator does not fit a freshly split page")
+        target.put(separator, child_ref)
+        right_no = right.page_id.page_no
+        self.cache.unpin(parent, dirty=True)
+        self.cache.unpin(right, dirty=True)
+        # When the split page was the root, ``path`` is empty here and the
+        # recursive call grows a new root one level up.
+        self._insert_separator(path, promoted, right_no)
+
+    def _grow_new_root(self, separator, child_ref):
+        old_root_no = self.root_page_no
+        root = self.cache.new_page(self.file_id, PageKind.INTERIOR)
+        root.put(b"", _CHILD.pack(old_root_no))
+        root.put(separator, child_ref)
+        self.root_page_no = root.page_id.page_no
+        self.smo_counter += 1
+        self.cache.unpin(root, dirty=True)
+
+    def _build_interior_levels(self, level):
+        # Invariant maintained at every level (matching the insert path):
+        # the leftmost page's first separator is b"" (minus infinity), so
+        # arbitrarily small search keys route correctly from the root down.
+        while len(level) > 1:
+            parent_level = []
+            page = None
+            for position, (_first_key, child_no) in enumerate(level):
+                separator = b"" if position == 0 else level[position][0]
+                child_ref = _CHILD.pack(child_no)
+                if page is None or not page.fits(separator, child_ref):
+                    if page is not None:
+                        self.cache.unpin(page, dirty=True)
+                    page = self.cache.new_page(self.file_id, PageKind.INTERIOR)
+                    parent_level.append((separator, page.page_id.page_no))
+                page.put(separator, child_ref)
+            if page is not None:
+                self.cache.unpin(page, dirty=True)
+            level = parent_level
+        self.root_page_no = level[0][1]
+
+    # ------------------------------------------------------------------
+    # overflow (large record) handling
+    # ------------------------------------------------------------------
+    def _encode_value(self, key, value):
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values must be bytes")
+        if len(key) + len(value) + 1 <= self._inline_limit:
+            return _INLINE_MARK + bytes(value)
+        first_page_no = self._write_overflow_chain(bytes(value))
+        return _OVERFLOW_MARK + _OVERFLOW_HEADER.pack(first_page_no, len(value))
+
+    def _decode_value(self, stored):
+        if stored[:1] == _INLINE_MARK:
+            return stored[1:]
+        first_page_no, total = _OVERFLOW_HEADER.unpack(stored[1:])
+        return self._read_overflow_chain(first_page_no, total)
+
+    def _write_overflow_chain(self, value):
+        chunk_size = self._chunk_limit
+        chunks = [value[i : i + chunk_size] for i in range(0, len(value), chunk_size)]
+        first_page_no = -1
+        previous = None
+        for chunk in chunks:
+            page = self.cache.new_page(self.file_id, PageKind.DATA)
+            page.put(b"", chunk)
+            if previous is None:
+                first_page_no = page.page_id.page_no
+            else:
+                previous.next_page_no = page.page_id.page_no
+                self.cache.unpin(previous, dirty=True)
+            previous = page
+        if previous is not None:
+            self.cache.unpin(previous, dirty=True)
+        return first_page_no
+
+    def _read_overflow_chain(self, first_page_no, total):
+        parts = []
+        page_no = first_page_no
+        remaining = total
+        while page_no != -1 and remaining > 0:
+            page = self.cache.pin(PageId(self.file_id, page_no))
+            chunk = page.values[0]
+            next_no = page.next_page_no
+            self.cache.unpin(page)
+            parts.append(chunk)
+            remaining -= len(chunk)
+            page_no = next_no
+        return b"".join(parts)

@@ -1,0 +1,60 @@
+"""The common access-method interface shared by B-tree and LSM B-tree.
+
+Pregelix stores each ``Vertex`` partition behind this interface and lets
+the user pick the implementation per job (paper Section 5.2): B-trees for
+in-place-update-heavy algorithms like PageRank, LSM B-trees for
+mutation-heavy workloads like the Genomix path-merging assembler.
+"""
+
+#: Sentinel value marking a deleted key inside LSM components.
+TOMBSTONE = b"\x00__repro_tombstone__"
+
+
+class Index:
+    """Ordered ``bytes -> bytes`` map with range scans and bulk loading."""
+
+    def insert(self, key, value):
+        """Insert or overwrite ``key``."""
+        raise NotImplementedError
+
+    def delete(self, key):
+        """Remove ``key``; silently ignores missing keys."""
+        raise NotImplementedError
+
+    def lookup(self, key):
+        """Return the value for ``key``, or ``None`` when absent."""
+        raise NotImplementedError
+
+    def scan(self, low=None, high=None):
+        """Iterate ``(key, value)`` in key order over ``[low, high)``.
+
+        ``None`` bounds are unbounded. Implementations tolerate same-size
+        in-place updates performed while a scan is open (the Pregelix
+        compute mini-operator updates vertices during the join scan).
+        """
+        raise NotImplementedError
+
+    def bulk_load(self, pairs):
+        """Load from an iterator of strictly-increasing-key pairs.
+
+        Only valid on an empty index.
+        """
+        raise NotImplementedError
+
+    def __len__(self):
+        raise NotImplementedError
+
+    def close(self):
+        """Release pages and files held by the index."""
+        raise NotImplementedError
+
+    # Convenience helpers shared by implementations -----------------------
+    def items(self):
+        return self.scan()
+
+    def keys(self):
+        for key, _value in self.scan():
+            yield key
+
+    def __contains__(self, key):
+        return self.lookup(key) is not None

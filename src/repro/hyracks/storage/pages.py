@@ -1,0 +1,192 @@
+"""Slotted pages: the unit of storage, caching, and spilling.
+
+A page holds a sorted sequence of ``(key, value)`` byte-string entries.
+Leaf pages of a B-tree store record payloads; interior pages store child
+page numbers (encoded as 8-byte integers) keyed by separator keys. Pages
+serialize to a fixed-size on-disk image so the buffer cache can evict and
+reload them at stable offsets.
+"""
+
+import bisect
+import struct
+from collections import namedtuple
+
+from repro.common.errors import StorageError
+
+_HEADER = struct.Struct(">BIq")  # kind, entry count, next page number
+_ENTRY_HEADER = struct.Struct(">II")  # key length, value length
+
+#: Fixed per-entry bookkeeping charge (slot pointer + entry header).
+ENTRY_OVERHEAD = 12
+#: Fixed per-page bookkeeping charge (header).
+PAGE_OVERHEAD = _HEADER.size
+
+
+class PageKind:
+    """Discriminates what a page's entries mean."""
+
+    LEAF = 0
+    INTERIOR = 1
+    DATA = 2
+
+
+PageId = namedtuple("PageId", ["file_id", "page_no"])
+
+
+class Page:
+    """A sorted, byte-budgeted container of ``(key, value)`` entries.
+
+    Entries are kept sorted by key; lookup is binary search. ``capacity``
+    is the on-disk page size — an insert that would overflow it signals
+    the caller (a B-tree) to split.
+    """
+
+    __slots__ = (
+        "page_id",
+        "kind",
+        "capacity",
+        "keys",
+        "values",
+        "next_page_no",
+        "dirty",
+        "pin_count",
+    )
+
+    def __init__(self, page_id, kind, capacity):
+        self.page_id = page_id
+        self.kind = kind
+        self.capacity = capacity
+        self.keys = []
+        self.values = []
+        self.next_page_no = -1
+        self.dirty = False
+        self.pin_count = 0
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self):
+        """Exact size of this page's on-disk image."""
+        total = PAGE_OVERHEAD
+        for key, value in zip(self.keys, self.values):
+            total += ENTRY_OVERHEAD - 4 + len(key) + len(value)
+        return total
+
+    def fits(self, key, value):
+        """Whether inserting ``(key, value)`` keeps the page within capacity."""
+        return self.nbytes + ENTRY_OVERHEAD - 4 + len(key) + len(value) <= self.capacity
+
+    @property
+    def num_entries(self):
+        return len(self.keys)
+
+    # ------------------------------------------------------------------
+    # entry operations
+    # ------------------------------------------------------------------
+    def find(self, key):
+        """Index of ``key``, or ``None`` when absent."""
+        index = bisect.bisect_left(self.keys, key)
+        if index < len(self.keys) and self.keys[index] == key:
+            return index
+        return None
+
+    def lower_bound(self, key):
+        """Index of the first entry with key >= ``key``."""
+        return bisect.bisect_left(self.keys, key)
+
+    def child_index(self, key):
+        """Interior pages: index of the child covering ``key``.
+
+        Entries partition the key space: entry ``i`` covers keys in
+        ``[keys[i], keys[i+1])``; the first entry's key is the empty
+        string (acts as minus infinity).
+        """
+        index = bisect.bisect_right(self.keys, key) - 1
+        if index < 0:
+            raise StorageError("interior page has no child for key %r" % (key,))
+        return index
+
+    def put(self, key, value):
+        """Insert or replace; returns True if this was a replacement."""
+        index = bisect.bisect_left(self.keys, key)
+        if index < len(self.keys) and self.keys[index] == key:
+            self.values[index] = value
+            self.dirty = True
+            return True
+        self.keys.insert(index, key)
+        self.values.insert(index, value)
+        self.dirty = True
+        return False
+
+    def remove(self, key):
+        """Delete ``key``; returns True when it was present."""
+        index = self.find(key)
+        if index is None:
+            return False
+        del self.keys[index]
+        del self.values[index]
+        self.dirty = True
+        return True
+
+    def split_into(self, right):
+        """Move the upper half of the entries into ``right``.
+
+        Returns the first key now stored in ``right`` (the separator the
+        parent must learn).
+        """
+        midpoint = len(self.keys) // 2
+        if midpoint == 0:
+            raise StorageError("cannot split a page with fewer than two entries")
+        right.keys = self.keys[midpoint:]
+        right.values = self.values[midpoint:]
+        del self.keys[midpoint:]
+        del self.values[midpoint:]
+        right.next_page_no = self.next_page_no
+        self.next_page_no = right.page_id.page_no
+        self.dirty = True
+        right.dirty = True
+        return right.keys[0]
+
+    def entries(self):
+        """Iterate ``(key, value)`` pairs in key order."""
+        return zip(self.keys, self.values)
+
+    # ------------------------------------------------------------------
+    # on-disk image
+    # ------------------------------------------------------------------
+    def to_bytes(self):
+        parts = [_HEADER.pack(self.kind, len(self.keys), self.next_page_no)]
+        for key, value in zip(self.keys, self.values):
+            parts.append(_ENTRY_HEADER.pack(len(key), len(value)))
+            parts.append(key)
+            parts.append(value)
+        image = b"".join(parts)
+        if len(image) > self.capacity:
+            raise StorageError(
+                "page image %d bytes exceeds capacity %d" % (len(image), self.capacity)
+            )
+        return image
+
+    @classmethod
+    def from_bytes(cls, page_id, data, capacity):
+        kind, count, next_page_no = _HEADER.unpack_from(data, 0)
+        page = cls(page_id, kind, capacity)
+        page.next_page_no = next_page_no
+        offset = _HEADER.size
+        for _ in range(count):
+            key_len, value_len = _ENTRY_HEADER.unpack_from(data, offset)
+            offset += _ENTRY_HEADER.size
+            page.keys.append(bytes(data[offset : offset + key_len]))
+            offset += key_len
+            page.values.append(bytes(data[offset : offset + value_len]))
+            offset += value_len
+        return page
+
+    def __repr__(self):
+        return "Page(%r, kind=%d, entries=%d, bytes=%d)" % (
+            self.page_id,
+            self.kind,
+            len(self.keys),
+            self.nbytes,
+        )

@@ -1,0 +1,85 @@
+"""Sequential run files: spill output for sorts, group-bys, and Msg data.
+
+A run file is a flat local file of length-prefixed ``(key, value)`` byte
+records written once and scanned sequentially — exactly the shape of an
+external sort run or of the sorted per-partition ``Msg`` relation the
+paper stores "in temporary local files" between supersteps.
+"""
+
+import os
+import struct
+
+_RECORD_HEADER = struct.Struct(">II")
+_BUFFER_LIMIT = 1 << 20
+
+
+class RunFileWriter:
+    """Appends ``(key, value)`` byte records to a local file."""
+
+    def __init__(self, path, file_manager=None):
+        self.path = path
+        self.files = file_manager
+        self._handle = open(path, "wb")
+        self._buffer = []
+        self._buffered_bytes = 0
+        self.records_written = 0
+        self.bytes_written = 0
+
+    def append(self, key, value):
+        record = _RECORD_HEADER.pack(len(key), len(value)) + key + value
+        self._buffer.append(record)
+        self._buffered_bytes += len(record)
+        self.records_written += 1
+        self.bytes_written += len(record)
+        if self._buffered_bytes >= _BUFFER_LIMIT:
+            self._flush()
+
+    def close(self):
+        if self._handle.closed:
+            return
+        self._flush()
+        self._handle.close()
+        if self.files is not None:
+            self.files.io.record_write(self.bytes_written)
+
+    def _flush(self):
+        if self._buffer:
+            self._handle.write(b"".join(self._buffer))
+            self._buffer = []
+            self._buffered_bytes = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class RunFileReader:
+    """Sequentially iterates the ``(key, value)`` records of a run file."""
+
+    def __init__(self, path, file_manager=None):
+        self.path = path
+        self.files = file_manager
+
+    def __iter__(self):
+        if not os.path.exists(self.path):
+            return
+        total = 0
+        with open(self.path, "rb") as handle:
+            while True:
+                header = handle.read(_RECORD_HEADER.size)
+                if not header:
+                    break
+                key_len, value_len = _RECORD_HEADER.unpack(header)
+                key = handle.read(key_len)
+                value = handle.read(value_len)
+                total += _RECORD_HEADER.size + key_len + value_len
+                yield key, value
+        if self.files is not None and total:
+            self.files.io.record_read(total)
+
+    def delete(self):
+        if os.path.exists(self.path):
+            os.remove(self.path)

@@ -1,0 +1,56 @@
+"""Pregelix: the Pregel programming model compiled to iterative dataflows.
+
+The user-facing API mirrors the paper's Java API (Figure 9): subclass
+:class:`~repro.pregelix.api.Vertex`, optionally provide a message
+combiner / global aggregator / mutation resolver, configure physical-plan
+hints on a :class:`~repro.pregelix.api.PregelixJob`, and run it with
+:class:`~repro.pregelix.runtime.PregelixDriver` on a
+:class:`~repro.hyracks.HyracksCluster`.
+
+Internally each superstep is generated as a Hyracks job by
+:mod:`repro.pregelix.physical`: message delivery is an index full-outer
+or left-outer join, message combination is a two-stage group-by (4
+strategies), global states are two-stage aggregates, and graph mutations
+flow through a resolve group-by into an index insert/delete operator.
+"""
+
+from repro.pregelix.api import (
+    Combiner,
+    ConnectorPolicy,
+    DefaultListCombiner,
+    Edge,
+    GlobalAggregator,
+    GroupByStrategy,
+    JoinStrategy,
+    MinCombiner,
+    PregelixJob,
+    SumCombiner,
+    Vertex,
+    VertexResolver,
+    VertexStorage,
+)
+from repro.pregelix.runtime import PregelixDriver, JobOutcome
+from repro.pregelix.types import GlobalState
+from repro.pregelix.optimizer import CostBasedOptimizer
+from repro.pregelix.aggregators import AggregatorSet
+
+__all__ = [
+    "Vertex",
+    "Edge",
+    "Combiner",
+    "DefaultListCombiner",
+    "MinCombiner",
+    "SumCombiner",
+    "GlobalAggregator",
+    "VertexResolver",
+    "PregelixJob",
+    "JoinStrategy",
+    "GroupByStrategy",
+    "ConnectorPolicy",
+    "VertexStorage",
+    "PregelixDriver",
+    "JobOutcome",
+    "GlobalState",
+    "CostBasedOptimizer",
+    "AggregatorSet",
+]

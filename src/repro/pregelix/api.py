@@ -1,0 +1,424 @@
+"""The user-facing Pregel API (the analog of the paper's Figure 9).
+
+A graph algorithm is a subclass of :class:`Vertex` implementing
+``compute``. A :class:`PregelixJob` bundles the vertex class with type
+serdes, the optional :class:`Combiner`, :class:`GlobalAggregator`, and
+:class:`VertexResolver` UDFs (paper Table 2), and the physical plan hints
+— join strategy, group-by strategy, connector policy, vertex storage —
+that select one of the sixteen tailored executions.
+"""
+
+import enum
+from collections import namedtuple
+
+from repro.common import serde
+from repro.common.errors import GraphMutationConflict, ReproError
+
+Edge = namedtuple("Edge", ["target", "value"])
+
+
+class Vertex:
+    """Base class for vertex programs; override :meth:`compute`.
+
+    During a superstep, the framework binds the instance to one active
+    vertex at a time and calls ``compute(messages)``. Inside compute the
+    methods below read and mutate the bound vertex, send messages, vote
+    to halt, contribute to the global aggregate, and request graph
+    mutations — the five actions of the Pregel model (paper Section 2.1).
+    """
+
+    def __init__(self):
+        self._vid = None
+        self._value = None
+        self._edges = []
+        self._halted = False
+        self._outbox = []
+        self._agg_contribs = []
+        self._mutations = []
+        self._superstep = 0
+        self._global_aggregate = None
+        self._num_vertices = 0
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # user hooks
+    # ------------------------------------------------------------------
+    def configure(self, config):
+        """Called once per worker with the job's config dict."""
+
+    def compute(self, messages):
+        """Process ``messages`` (an iterator of payloads); must override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # bound-vertex accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertex_id(self):
+        return self._vid
+
+    @property
+    def value(self):
+        return self._value
+
+    @value.setter
+    def value(self, new_value):
+        self._value = new_value
+
+    @property
+    def edges(self):
+        """The mutable outgoing edge list (``Edge(target, value)``)."""
+        return self._edges
+
+    def set_edges(self, edges):
+        self._edges = [Edge(*e) for e in edges]
+
+    def add_edge(self, target, value=None):
+        self._edges.append(Edge(target, value))
+
+    def remove_edges_to(self, target):
+        self._edges = [e for e in self._edges if e.target != target]
+
+    @property
+    def superstep(self):
+        """The current superstep number (1-based, as in Pregel)."""
+        return self._superstep
+
+    @property
+    def num_vertices(self):
+        """Vertex count at the end of the previous superstep."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self):
+        """Edge count at the end of the previous superstep."""
+        return self._num_edges
+
+    @property
+    def global_aggregate(self):
+        """The global aggregate value produced by the previous superstep.
+
+        A scalar for a single anonymous aggregator; a ``{name: value}``
+        dict when the job registers named aggregators.
+        """
+        return self._global_aggregate
+
+    def get_global_aggregate(self, name):
+        """One named aggregator's value from the previous superstep."""
+        if isinstance(self._global_aggregate, dict):
+            return self._global_aggregate.get(name)
+        return self._global_aggregate
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def send_message(self, target, payload):
+        """Queue ``payload`` for delivery to ``target`` next superstep."""
+        self._outbox.append((target, payload))
+
+    def send_message_to_all_edges(self, payload):
+        for edge in self._edges:
+            self._outbox.append((edge.target, payload))
+
+    def vote_to_halt(self):
+        """Deactivate this vertex until a message reactivates it."""
+        self._halted = True
+
+    def aggregate(self, contribution, name=None):
+        """Contribute to a global aggregate (the ``aggregate`` UDF input).
+
+        With a single anonymous aggregator on the job, omit ``name``;
+        with named aggregators, address one by its name.
+        """
+        self._agg_contribs.append((name, contribution))
+
+    def add_vertex(self, vid, value=None, edges=()):
+        """Request insertion of a new vertex (applied via ``resolve``)."""
+        self._mutations.append(("insert", vid, value, [Edge(*e) for e in edges]))
+
+    def remove_vertex(self, vid):
+        """Request deletion of a vertex (applied via ``resolve``)."""
+        self._mutations.append(("delete", vid, None, None))
+
+    # ------------------------------------------------------------------
+    # framework binding (internal)
+    # ------------------------------------------------------------------
+    def _bind(self, vid, value, edges, superstep, global_aggregate, num_vertices, num_edges):
+        self._vid = vid
+        self._value = value
+        self._edges = [e if isinstance(e, Edge) else Edge(*e) for e in edges]
+        self._halted = False
+        self._outbox = []
+        self._agg_contribs = []
+        self._mutations = []
+        self._superstep = superstep
+        self._global_aggregate = global_aggregate
+        self._num_vertices = num_vertices
+        self._num_edges = num_edges
+
+
+class Combiner:
+    """Message combiner: pre-aggregates messages per destination.
+
+    States must be mergeable because combination happens in two stages
+    (sender side and receiver side, paper Section 5.3.1). ``finish``
+    produces the stored *bundle*; ``expand`` turns a bundle back into the
+    message iterator handed to ``compute``.
+    """
+
+    def init(self):
+        raise NotImplementedError
+
+    def accumulate(self, state, payload):
+        raise NotImplementedError
+
+    def merge(self, left, right):
+        raise NotImplementedError
+
+    def finish(self, state):
+        return state
+
+    def expand(self, bundle):
+        """Messages delivered to compute for a combined bundle."""
+        return [bundle]
+
+    def bundle_serde(self, msg_serde):
+        """Serde for stored bundles; defaults to the message serde."""
+        return msg_serde
+
+
+class DefaultListCombiner(Combiner):
+    """The paper's default combine: gather all messages into a list."""
+
+    def init(self):
+        return []
+
+    def accumulate(self, state, payload):
+        state.append(payload)
+        return state
+
+    def merge(self, left, right):
+        left.extend(right)
+        return left
+
+    def expand(self, bundle):
+        return bundle
+
+    def bundle_serde(self, msg_serde):
+        return serde.ListSerde(msg_serde)
+
+
+class MinCombiner(Combiner):
+    """Keep only the minimum message (e.g. shortest-path distances)."""
+
+    def init(self):
+        return None
+
+    def accumulate(self, state, payload):
+        return payload if state is None else min(state, payload)
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return min(left, right)
+
+
+class SumCombiner(Combiner):
+    """Sum all messages (e.g. PageRank contributions)."""
+
+    def init(self):
+        return 0.0
+
+    def accumulate(self, state, payload):
+        return state + payload
+
+    def merge(self, left, right):
+        return left + right
+
+
+class MaxCombiner(Combiner):
+    """Keep only the maximum message (e.g. max-id label propagation)."""
+
+    def init(self):
+        return None
+
+    def accumulate(self, state, payload):
+        return payload if state is None else max(state, payload)
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return max(left, right)
+
+
+class GlobalAggregator:
+    """Global aggregation UDF over per-vertex contributions (Table 2)."""
+
+    def init(self):
+        raise NotImplementedError
+
+    def accumulate(self, state, contribution):
+        raise NotImplementedError
+
+    def merge(self, left, right):
+        raise NotImplementedError
+
+    def finish(self, state):
+        return state
+
+    def value_serde(self):
+        """Serde for the finished value stored in GS."""
+        return serde.FLOAT64
+
+
+class VertexResolver:
+    """Resolves conflicting graph mutations for one vertex id.
+
+    The default implements the paper's partial order: deletions are
+    applied before insertions; multiple conflicting insertions raise
+    unless ``choose_insertion`` is overridden.
+    """
+
+    def resolve(self, vid, mutations, exists):
+        """Return ``("insert", record_fields)`` / ``("delete",)`` / None.
+
+        :param vid: the vertex id all ``mutations`` target.
+        :param mutations: list of ``(op, vid, value, edges)`` requests.
+        :param exists: whether the vertex currently exists.
+        """
+        deletions = [m for m in mutations if m[0] == "delete"]
+        insertions = [m for m in mutations if m[0] == "insert"]
+        if insertions:
+            chosen = self.choose_insertion(vid, insertions)
+            return ("insert", chosen[2], chosen[3])
+        if deletions:
+            return ("delete",)
+        return None
+
+    def choose_insertion(self, vid, insertions):
+        if len(insertions) > 1:
+            raise GraphMutationConflict(
+                "%d conflicting insertions for vertex %d" % (len(insertions), vid)
+            )
+        return insertions[0]
+
+
+class JoinStrategy(enum.Enum):
+    """Message delivery physical choice (paper Figure 8)."""
+
+    FULL_OUTER = "full-outer-join"
+    LEFT_OUTER = "left-outer-join"
+
+
+class GroupByStrategy(enum.Enum):
+    """Message combination group-by implementation (paper Figure 7)."""
+
+    SORT = "sort"
+    HASHSORT = "hashsort"
+
+
+class ConnectorPolicy(enum.Enum):
+    """Message redistribution connector choice (paper Figure 7)."""
+
+    UNMERGED = "m-to-n-partitioning"
+    MERGED = "m-to-n-partitioning-merging"
+
+
+class VertexStorage(enum.Enum):
+    """Vertex relation storage structure (paper Section 5.2)."""
+
+    BTREE = "btree"
+    LSM_BTREE = "lsm-btree"
+
+
+class PregelixJob:
+    """A Pregel job description plus physical plan hints.
+
+    The defaults mirror the paper's default plan: index full outer join,
+    sort-based group-by, m-to-n hash partitioning connector, and B-tree
+    vertex storage.
+    """
+
+    def __init__(
+        self,
+        name,
+        vertex_class,
+        value_serde=serde.FLOAT64,
+        edge_serde=serde.FLOAT64,
+        msg_serde=serde.FLOAT64,
+        combiner=None,
+        aggregator=None,
+        resolver=None,
+        join_strategy=JoinStrategy.FULL_OUTER,
+        groupby_strategy=GroupByStrategy.SORT,
+        connector_policy=ConnectorPolicy.UNMERGED,
+        vertex_storage=VertexStorage.BTREE,
+        groupby_memory_bytes=64 << 20,
+        checkpoint_interval=None,
+        max_supersteps=None,
+        auto_optimize=False,
+        config=None,
+    ):
+        if not issubclass(vertex_class, Vertex):
+            raise ReproError("vertex_class must subclass pregelix.Vertex")
+        self.name = name
+        self.vertex_class = vertex_class
+        self.value_serde = value_serde
+        self.edge_serde = edge_serde
+        self.msg_serde = msg_serde
+        self.combiner = combiner or DefaultListCombiner()
+        self.aggregator = aggregator
+        self.resolver = resolver or VertexResolver()
+        self.join_strategy = join_strategy
+        self.groupby_strategy = groupby_strategy
+        self.connector_policy = connector_policy
+        self.vertex_storage = vertex_storage
+        self.groupby_memory_bytes = int(groupby_memory_bytes)
+        self.checkpoint_interval = checkpoint_interval
+        self.max_supersteps = max_supersteps
+        #: When set, the driver re-optimizes the physical plan between
+        #: supersteps with the cost-based optimizer (the paper's stated
+        #: future work; see repro.pregelix.optimizer).
+        self.auto_optimize = bool(auto_optimize)
+        self.config = dict(config or {})
+
+    @property
+    def needs_vid(self):
+        """Whether plans must maintain the live-vertex ``Vid`` index.
+
+        True for the left-outer-join plan, and always under the
+        optimizer (so it can switch join strategies between supersteps).
+        """
+        return self.join_strategy == JoinStrategy.LEFT_OUTER or self.auto_optimize
+
+    # Handy derived serdes -------------------------------------------------
+    def vertex_codec(self):
+        from repro.pregelix.types import vertex_value_serde
+
+        return vertex_value_serde(self.value_serde, self.edge_serde)
+
+    def bundle_codec(self):
+        return self.combiner.bundle_serde(self.msg_serde)
+
+    def aggregator_set(self):
+        from repro.pregelix.aggregators import AggregatorSet
+
+        return AggregatorSet(self.aggregator)
+
+    def gs_codec(self):
+        from repro.pregelix.types import global_state_serde
+
+        return global_state_serde(self.aggregator_set().value_serde())
+
+    def plan_signature(self):
+        """Human-readable physical plan choice (for logs and benches)."""
+        return "%s/%s/%s/%s" % (
+            self.join_strategy.value,
+            self.groupby_strategy.value,
+            self.connector_policy.value,
+            self.vertex_storage.value,
+        )

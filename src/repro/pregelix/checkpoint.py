@@ -1,0 +1,243 @@
+"""Checkpointing and recovery (paper Section 5.5).
+
+At user-selected superstep boundaries the driver runs a checkpoint plan
+that writes ``Vertex``, ``Msg`` (and ``Vid`` for the left-outer-join
+plan) to HDFS, alongside a copy of GS. After a machine loss, the failure
+manager reloads the latest checkpoint onto the surviving nodes with a
+recovery plan that scans the checkpointed data and bulk loads fresh
+indexes — checkpointing ``Msg`` is what lets user programs stay unaware
+of failures.
+"""
+
+import io
+import struct
+
+from repro.common.errors import CheckpointNotFound
+from repro.hyracks.job import JobSpec, OperatorDescriptor
+from repro.hyracks.operators.index_ops import get_index
+from repro.hyracks.storage.run_file import RunFileReader, RunFileWriter
+from repro.pregelix.api import JoinStrategy
+from repro.pregelix.operators import runtime_state
+from repro.pregelix.types import decode_global_state
+
+_FRAME = struct.Struct(">II")
+
+
+def pack_pairs(pairs):
+    """Frame ``(key, value)`` byte pairs into one checkpoint blob."""
+    buffer = io.BytesIO()
+    for key, value in pairs:
+        buffer.write(_FRAME.pack(len(key), len(value)))
+        buffer.write(key)
+        buffer.write(value)
+    return buffer.getvalue()
+
+
+def iter_pairs(blob):
+    """Inverse of :func:`pack_pairs`."""
+    offset = 0
+    view = memoryview(blob)
+    while offset < len(view):
+        key_len, value_len = _FRAME.unpack_from(view, offset)
+        offset += _FRAME.size
+        key = bytes(view[offset : offset + key_len])
+        offset += key_len
+        value = bytes(view[offset : offset + value_len])
+        offset += value_len
+        yield key, value
+
+
+class IndexCheckpointOperator(OperatorDescriptor):
+    """Scans an index partition and writes it to HDFS as one blob."""
+
+    def __init__(self, index_name, dfs, path_for_partition, name=None):
+        super().__init__(name or "IndexCheckpoint(%s)" % index_name)
+        self.index_name = index_name
+        self.dfs = dfs
+        self.path_for_partition = path_for_partition
+
+    def run(self, ctx, partition, inputs):
+        index = get_index(ctx, self.index_name, partition)
+        blob = pack_pairs(index.scan())
+        self.dfs.write(self.path_for_partition(partition), blob)
+        ctx.io.record_read(len(blob))
+        return {}
+
+
+class IndexRestoreOperator(OperatorDescriptor):
+    """Reads a checkpoint blob and bulk loads a fresh index from it."""
+
+    def __init__(self, index_name, index_factory, dfs, path_for_partition, name=None):
+        super().__init__(name or "IndexRestore(%s)" % index_name)
+        self.index_name = index_name
+        self.index_factory = index_factory
+        self.dfs = dfs
+        self.path_for_partition = path_for_partition
+
+    def run(self, ctx, partition, inputs):
+        from repro.hyracks.operators.index_ops import drop_index, register_index
+
+        blob = self.dfs.read(self.path_for_partition(partition))
+        drop_index(ctx, self.index_name, partition)
+        index = self.index_factory(ctx, partition)
+        index.bulk_load(iter_pairs(blob))
+        register_index(ctx, self.index_name, partition, index)
+        return {}
+
+
+class MsgCheckpointOperator(OperatorDescriptor):
+    """Copies the partition's local ``Msg`` run file into HDFS."""
+
+    def __init__(self, run_id, dfs, path_for_partition, name=None):
+        super().__init__(name or "MsgCheckpoint")
+        self.run_id = run_id
+        self.dfs = dfs
+        self.path_for_partition = path_for_partition
+
+    def run(self, ctx, partition, inputs):
+        state = runtime_state(ctx, self.run_id)
+        path = state["msg_files"].get(partition)
+        pairs = RunFileReader(path, ctx.files) if path else []
+        self.dfs.write(self.path_for_partition(partition), pack_pairs(pairs))
+        return {}
+
+
+class MsgRestoreOperator(OperatorDescriptor):
+    """Rewrites the checkpointed ``Msg`` data as a local run file."""
+
+    def __init__(self, run_id, superstep, dfs, path_for_partition, name=None):
+        super().__init__(name or "MsgRestore")
+        self.run_id = run_id
+        self.superstep = superstep
+        self.dfs = dfs
+        self.path_for_partition = path_for_partition
+
+    def run(self, ctx, partition, inputs):
+        blob = self.dfs.read(self.path_for_partition(partition))
+        path = ctx.files.create_temp_path(
+            "msg-%s-p%d-restored-s%d" % (self.run_id, partition, self.superstep)
+        )
+        with RunFileWriter(path, ctx.files) as writer:
+            for key, value in iter_pairs(blob):
+                writer.append(key, value)
+        runtime_state(ctx, self.run_id)["msg_files"][partition] = path
+        return {}
+
+
+class Checkpointer:
+    """Builds checkpoint and recovery plans for one Pregelix run."""
+
+    def __init__(self, plan_generator):
+        self.generator = plan_generator
+        self.dfs = plan_generator.dfs
+        self.job = plan_generator.job
+        self.run_id = plan_generator.run_id
+
+    def root(self):
+        return "/pregelix/%s/ckpt" % self.run_id
+
+    def path(self, superstep, what, partition=None):
+        base = "%s/%06d/%s" % (self.root(), superstep, what)
+        if partition is None:
+            return base
+        return "%s-p%05d" % (base, partition)
+
+    # ------------------------------------------------------------------
+    def checkpoint_plan(self, superstep):
+        """Snapshot Vertex, Msg (and Vid) for ``superstep`` into HDFS."""
+        generator = self.generator
+        spec = JobSpec("%s-ckpt-%d" % (self.job.name, superstep))
+        vertex = spec.add(
+            IndexCheckpointOperator(
+                generator.vertex_index,
+                self.dfs,
+                lambda p, s=superstep: self.path(s, "vertex", p),
+            )
+        )
+        vertex.partition_constraint = generator.partition_map.constraint()
+        msg = spec.add(
+            MsgCheckpointOperator(
+                self.run_id, self.dfs, lambda p, s=superstep: self.path(s, "msg", p)
+            )
+        )
+        msg.partition_constraint = generator.partition_map.constraint()
+        if self.job.needs_vid:
+            vid = spec.add(
+                IndexCheckpointOperator(
+                    generator.vid_index,
+                    self.dfs,
+                    lambda p, s=superstep: self.path(s, "vid", p),
+                )
+            )
+            vid.partition_constraint = generator.partition_map.constraint()
+        return spec
+
+    def save_gs(self, superstep):
+        """Copy the GS tuple and commit the checkpoint with a marker.
+
+        The ``_SUCCESS`` marker is written last; a checkpoint torn by a
+        failure mid-write is never selected for recovery.
+        """
+        self.dfs.write(
+            self.path(superstep, "gs"), self.dfs.read(self.generator.gs_path)
+        )
+        self.dfs.write(self.path(superstep, "_SUCCESS"), b"")
+
+    def latest_checkpoint(self):
+        """Most recent *committed* checkpointed superstep, or ``None``."""
+        supersteps = set()
+        prefix = self.root() + "/"
+        for path in self.dfs.list_files(self.root()):
+            remainder = path[len(prefix):]
+            step, _, what = remainder.partition("/")
+            if step.isdigit() and what == "_SUCCESS":
+                supersteps.add(int(step))
+        return max(supersteps) if supersteps else None
+
+    def recovery_plan(self, superstep, new_generator):
+        """Reload checkpoint ``superstep`` onto the surviving nodes.
+
+        ``new_generator`` carries the re-placed partition map; index
+        names stay identical because the run id is unchanged.
+        """
+        spec = JobSpec("%s-recover-%d" % (self.job.name, superstep))
+        constraint = new_generator.partition_map.constraint()
+        vertex = spec.add(
+            IndexRestoreOperator(
+                new_generator.vertex_index,
+                new_generator._index_factory(),
+                self.dfs,
+                lambda p, s=superstep: self.path(s, "vertex", p),
+            )
+        )
+        vertex.partition_constraint = constraint
+        msg = spec.add(
+            MsgRestoreOperator(
+                self.run_id,
+                superstep,
+                self.dfs,
+                lambda p, s=superstep: self.path(s, "msg", p),
+            )
+        )
+        msg.partition_constraint = constraint
+        if self.job.needs_vid:
+            vid = spec.add(
+                IndexRestoreOperator(
+                    new_generator.vid_index,
+                    new_generator._vid_factory(),
+                    self.dfs,
+                    lambda p, s=superstep: self.path(s, "vid", p),
+                )
+            )
+            vid.partition_constraint = constraint
+        return spec
+
+    def restore_gs(self, superstep):
+        """Read the GS tuple saved with checkpoint ``superstep``."""
+        path = self.path(superstep, "gs")
+        if not self.dfs.exists(path):
+            raise CheckpointNotFound(path)
+        # Also restore it as the primary copy.
+        data = self.dfs.read(path)
+        self.dfs.write(self.generator.gs_path, data)
+        return decode_global_state(self.job.gs_codec(), data)

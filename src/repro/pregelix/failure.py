@@ -1,0 +1,43 @@
+"""The failure manager (paper Section 5.7).
+
+Analyzes job failures: machine interruptions and I/O errors are
+recoverable (the node is blacklisted and the driver replays from the
+latest checkpoint); application exceptions are forwarded to the user.
+"""
+
+from repro.common.errors import JobFailure, WorkerFailure
+
+#: Failure kinds the manager will try to recover from.
+RECOVERABLE_KINDS = ("interruption", "io")
+
+
+class FailureManager:
+    """Tracks blacklisted machines and classifies failures."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.blacklist = set()
+
+    def is_recoverable(self, failure):
+        """Whether ``failure`` warrants checkpoint recovery."""
+        if not isinstance(failure, JobFailure):
+            return False
+        cause = failure.cause
+        return isinstance(cause, WorkerFailure) and cause.kind in RECOVERABLE_KINDS
+
+    def record(self, failure):
+        """Blacklist the failed machine; returns its node id."""
+        node_id = failure.cause.node_id
+        self.blacklist.add(node_id)
+        node = self.cluster.nodes.get(node_id)
+        if node is not None and node.alive:
+            self.cluster.kill_node(node_id)
+        return node_id
+
+    def healthy_nodes(self):
+        """Alive, non-blacklisted machines available for recovery."""
+        return [
+            node_id
+            for node_id in self.cluster.alive_node_ids()
+            if node_id not in self.blacklist
+        ]

@@ -1,0 +1,606 @@
+"""The Pregelix plan generator (paper Section 5.7, "Plan Generator").
+
+Generates the physical Hyracks job specs for data loading, one Pregel
+superstep, result writing, reactivation (job pipelining), checkpointing,
+and recovery. The superstep plan realizes the logical plan of Figures
+3–5 with the physical choices of Figures 7–8:
+
+* join strategy: index full outer join, or merge/choose + index left
+  outer join against a bulk-loaded ``Vid`` index of live vertices;
+* message combination: two-stage group-by — sort-based or HashSort on
+  the sender side, and either the same re-grouping operator under an
+  m-to-n partitioning connector or a pre-clustered group-by under an
+  m-to-n partitioning *merging* connector;
+* vertex storage: B-tree or LSM B-tree behind the node's buffer cache.
+
+Sticky scheduling: every per-partition operator carries an absolute
+location constraint pinning partition ``i`` to the node that stores
+vertex partition ``i``, so ``Msg`` and ``Vertex`` stay co-partitioned and
+the join needs no extra repartitioning (Section 5.3.4).
+"""
+
+from repro.common import serde
+from repro.common.serde import decode_key, encode_key
+from repro.hyracks.connectors import (
+    MToNPartitioningConnector,
+    MToNPartitioningMergingConnector,
+    MToOneAggregatorConnector,
+    OneToOneConnector,
+)
+from repro.hyracks.job import JobSpec, OperatorDescriptor
+from repro.hyracks.operators.func import MapOperator
+from repro.hyracks.operators.groupby import (
+    GroupAggregator,
+    HashSortGroupByOperator,
+    PreclusteredGroupByOperator,
+    SortGroupByOperator,
+)
+from repro.hyracks.operators.index_ops import IndexBulkLoadOperator, IndexScanOperator
+from repro.hyracks.operators.join import (
+    IndexFullOuterJoinOperator,
+    IndexLeftOuterJoinOperator,
+    MergeChooseOperator,
+)
+from repro.hyracks.operators.scan import HDFSScanOperator, HDFSWriteOperator
+from repro.hyracks.operators.sort import ExternalSortOperator
+from repro.hyracks.scheduler import (
+    AbsoluteLocationConstraint,
+    ChoiceLocationConstraint,
+    CountConstraint,
+)
+from repro.hyracks.storage.btree import BTree
+from repro.hyracks.storage.lsm_btree import LSMBTree
+from repro.pregelix.api import ConnectorPolicy, GroupByStrategy, JoinStrategy, VertexStorage
+from repro.pregelix.operators import (
+    ComputeOperator,
+    GlobalGSOperator,
+    LocalGSOperator,
+    MsgScanOperator,
+    MsgWriteOperator,
+    VertexMutationOperator,
+)
+from repro.pregelix.types import GlobalState, encode_global_state
+
+
+class PartitionMap:
+    """The sticky vertex-partition-to-node assignment.
+
+    Built once at load time and reused by every superstep plan; rebuilt
+    only by recovery after a machine loss.
+    """
+
+    def __init__(self, locations):
+        if not locations:
+            raise ValueError("partition map needs at least one partition")
+        self.locations = list(locations)
+
+    @property
+    def num_partitions(self):
+        return len(self.locations)
+
+    def constraint(self):
+        return AbsoluteLocationConstraint(self.locations)
+
+    def partition_of(self, vid):
+        """The paper's default: hash partitioning on the vertex id."""
+        return hash(vid) % self.num_partitions
+
+    @classmethod
+    def over_nodes(cls, node_ids, partitions_per_node=1):
+        locations = []
+        for _ in range(partitions_per_node):
+            locations.extend(node_ids)
+        return cls(locations)
+
+
+class _SenderCombineAggregator(GroupAggregator):
+    """Sender-side (stage one) combine: fold raw messages into states."""
+
+    def __init__(self, combiner, msg_serde):
+        self.combiner = combiner
+        self.msg_serde = msg_serde
+
+    def create(self):
+        return self.combiner.init()
+
+    def step(self, state, item):
+        return self.combiner.accumulate(state, item[1])
+
+    def merge(self, left, right):
+        return self.combiner.merge(left, right)
+
+    def finish(self, key, state):
+        return (key, state)
+
+    def state_serde(self):
+        return self.combiner.bundle_serde(self.msg_serde)
+
+
+class _ReceiverCombineAggregator(GroupAggregator):
+    """Receiver-side (stage two) combine: merge partial states."""
+
+    _EMPTY = object()
+
+    def __init__(self, combiner, msg_serde):
+        self.combiner = combiner
+        self.msg_serde = msg_serde
+
+    def create(self):
+        return self._EMPTY
+
+    def step(self, state, item):
+        partial = item[1]
+        if state is self._EMPTY:
+            return partial
+        return self.combiner.merge(state, partial)
+
+    def merge(self, left, right):
+        if left is self._EMPTY:
+            return right
+        if right is self._EMPTY:
+            return left
+        return self.combiner.merge(left, right)
+
+    def finish(self, key, state):
+        bundle = self.combiner.finish(
+            self.combiner.init() if state is self._EMPTY else state
+        )
+        return (key, bundle)
+
+    def state_serde(self):
+        return self.combiner.bundle_serde(self.msg_serde)
+
+    def state_size(self, state):
+        if state is self._EMPTY:
+            return 1
+        return self.state_serde().sizeof(state)
+
+
+class _VertexEdgeCountAggregator:
+    """Counts (vertices, edges) over raw loaded vertex tuples."""
+
+    def create(self):
+        return (0, 0)
+
+    def step(self, state, item):
+        vertices, edges = state
+        return (vertices + 1, edges + len(item[2]))
+
+    def merge(self, left, right):
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finish(self, state):
+        return state
+
+
+class _MergeSameVidOperator(OperatorDescriptor):
+    """Merges consecutive raw tuples that share a vid (sorted input).
+
+    Lets edge-list inputs (one ``(src, None, [edge])`` tuple per line)
+    load directly: after the per-partition sort, all of a vertex's edges
+    are adjacent and fold into one row. The first non-null value wins.
+    """
+
+    def __init__(self):
+        super().__init__("MergeSameVid")
+
+    def run(self, ctx, partition, inputs):
+        (stream,) = inputs
+        output = []
+        current = None
+        for vid, value, edges in stream:
+            if current is not None and current[0] == vid:
+                current[2].extend(edges)
+                if current[1] is None:
+                    current[1] = value
+            else:
+                if current is not None:
+                    output.append(tuple(current))
+                current = [vid, value, list(edges)]
+        if current is not None:
+            output.append(tuple(current))
+        return {self.OUT: output}
+
+
+class _InitGSOperator(OperatorDescriptor):
+    """Writes the initial GS tuple after loading (superstep 0)."""
+
+    def __init__(self, job, dfs, gs_path):
+        super().__init__("InitGS")
+        self.job = job
+        self.dfs = dfs
+        self.gs_path = gs_path
+
+    def run(self, ctx, partition, inputs):
+        (stats,) = inputs
+        num_vertices, num_edges = stats[0] if stats else (0, 0)
+        gs = GlobalState(
+            halt=False,
+            aggregate=None,
+            superstep=0,
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+        )
+        self.dfs.write(self.gs_path, encode_global_state(self.job.gs_codec(), gs))
+        ctx.job.collected["gs"] = {0: [gs]}
+        return {}
+
+
+class _ReactivateOperator(OperatorDescriptor):
+    """Sets every vertex active again (between pipelined jobs)."""
+
+    LIVE = "live"
+
+    def __init__(self, job, vertex_index):
+        super().__init__("Reactivate")
+        self.job = job
+        self.vertex_index = vertex_index
+        self.codec = job.vertex_codec()
+
+    def run(self, ctx, partition, inputs):
+        from repro.hyracks.operators.index_ops import get_index
+        from repro.pregelix.types import decode_vertex, encode_vertex
+
+        index = get_index(ctx, self.vertex_index, partition)
+        live = []
+        updates = []
+        for key, value in index.scan():
+            record = decode_vertex(self.codec, decode_key(key), value)
+            if record.halt:
+                record.halt = False
+                updates.append((key, encode_vertex(self.codec, record)))
+            live.append((key, b""))
+        for key, value in updates:
+            index.insert(key, value)
+        return {self.LIVE: live}
+
+
+class PlanGenerator:
+    """Builds every physical plan for one Pregelix job run."""
+
+    def __init__(self, job, dfs, run_id, partition_map):
+        self.job = job
+        self.dfs = dfs
+        self.run_id = run_id
+        self.partition_map = partition_map
+        self.vertex_index = "vertex:%s" % run_id
+        self.vid_index = "vid:%s" % run_id
+        self.gs_path = "/pregelix/%s/gs" % run_id
+
+    # ------------------------------------------------------------------
+    # shared pieces
+    # ------------------------------------------------------------------
+    def _vid_partition_fn(self):
+        num = self.partition_map.num_partitions
+
+        def partition(vid, n=num):
+            return hash(vid) % n
+
+        return partition
+
+    def _index_factory(self):
+        storage = self.job.vertex_storage
+        name_prefix = self.vertex_index.replace(":", "-")
+
+        def factory(ctx, partition):
+            if storage == VertexStorage.LSM_BTREE:
+                return LSMBTree(
+                    ctx.buffer_cache,
+                    name="%s-p%d" % (name_prefix, partition),
+                )
+            return BTree(ctx.buffer_cache, name="%s-p%d.dat" % (name_prefix, partition))
+
+        return factory
+
+    def _vid_factory(self):
+        name_prefix = self.vid_index.replace(":", "-")
+
+        def factory(ctx, partition):
+            return BTree(ctx.buffer_cache, name="%s-p%d.dat" % (name_prefix, partition))
+
+        return factory
+
+    def _raw_vertex_serde(self):
+        """Serde for loader tuples ``(vid, value, edges)``."""
+        edge_serde = self.job.edge_serde
+        edge_value_size = getattr(edge_serde, "fixed_size", None)
+        if edge_value_size is not None:
+            edges = serde.PackedListSerde(
+                serde.FixedPairSerde(serde.INT64, edge_serde, 8, edge_value_size),
+                8 + edge_value_size,
+            )
+        else:
+            edges = serde.ListSerde(serde.PairSerde(serde.INT64, edge_serde))
+        return serde.TupleSerde(
+            serde.INT64, serde.OptionalSerde(self.job.value_serde), edges
+        )
+
+    def _pin(self, operator):
+        operator.partition_constraint = self.partition_map.constraint()
+        return operator
+
+    # ------------------------------------------------------------------
+    # loading plan
+    # ------------------------------------------------------------------
+    def loading_plan(self, input_path, parse_line):
+        """Scan HDFS, hash-partition by vid, sort, bulk load the index."""
+        job = self.job
+        spec = JobSpec("%s-load" % job.name)
+        files = self.dfs.list_files(input_path)
+        if not files:
+            raise FileNotFoundError("no input files under %s" % input_path)
+        num = self.partition_map.num_partitions
+        splits = [files[p::num] for p in range(num)]
+
+        scan = spec.add(HDFSScanOperator(self.dfs, splits, parse_line))
+        scan.partition_constraint = ChoiceLocationConstraint(
+            HDFSScanOperator.locality_choices(self.dfs, splits)
+        )
+
+        raw_serde = self._raw_vertex_serde()
+        sort = spec.add(
+            self._pin(
+                ExternalSortOperator(
+                    sort_key_fn=lambda t: encode_key(t[0]),
+                    tuple_serde=raw_serde,
+                    memory_limit_bytes=job.groupby_memory_bytes,
+                )
+            )
+        )
+        spec.connect(
+            MToNPartitioningConnector(
+                key_fn=lambda t: t[0],
+                tuple_serde=raw_serde,
+                partition_fn=self._vid_partition_fn(),
+            ),
+            scan,
+            sort,
+        )
+
+        merge = spec.add(self._pin(_MergeSameVidOperator()))
+        spec.connect(OneToOneConnector(), sort, merge)
+
+        codec = job.vertex_codec()
+
+        def to_record(raw):
+            vid, value, edges = raw
+            return (
+                encode_key(vid),
+                codec.dumps((False, value, [tuple(e) for e in edges])),
+            )
+
+        to_vertex = spec.add(self._pin(MapOperator(to_record, name="EncodeVertex")))
+        spec.connect(OneToOneConnector(), merge, to_vertex)
+        load = spec.add(
+            self._pin(IndexBulkLoadOperator(self.vertex_index, self._index_factory()))
+        )
+        spec.connect(OneToOneConnector(), to_vertex, load)
+
+        if job.needs_vid:
+            to_vid = spec.add(
+                self._pin(
+                    MapOperator(lambda raw: (encode_key(raw[0]), b""), name="EncodeVid")
+                )
+            )
+            spec.connect(OneToOneConnector(), merge, to_vid)
+            vid_load = spec.add(
+                self._pin(IndexBulkLoadOperator(self.vid_index, self._vid_factory()))
+            )
+            spec.connect(OneToOneConnector(), to_vid, vid_load)
+
+        from repro.hyracks.operators.aggregate import (
+            GlobalAggregateOperator,
+            LocalAggregateOperator,
+        )
+
+        counter = _VertexEdgeCountAggregator()
+        local_stats = spec.add(self._pin(LocalAggregateOperator(counter, name="LocalCount")))
+        spec.connect(OneToOneConnector(), merge, local_stats)
+        merge_stats = spec.add(GlobalAggregateOperator(counter, name="GlobalCount"))
+        merge_stats.partition_constraint = CountConstraint(1)
+        spec.connect(MToOneAggregatorConnector(), local_stats, merge_stats)
+        init_gs = spec.add(_InitGSOperator(job, self.dfs, self.gs_path))
+        init_gs.partition_constraint = CountConstraint(1)
+        spec.connect(OneToOneConnector(), merge_stats, init_gs)
+        return spec
+
+    # ------------------------------------------------------------------
+    # superstep plan
+    # ------------------------------------------------------------------
+    def superstep_plan(self, gs):
+        """One Pregel superstep as a Hyracks job (Figures 3-5 + 7-8)."""
+        job = self.job
+        superstep = gs.superstep + 1
+        spec = JobSpec("%s-superstep-%d" % (job.name, superstep))
+        bundle_codec = job.bundle_codec()
+
+        msg_scan = spec.add(self._pin(MsgScanOperator(self.run_id, bundle_codec)))
+        emit_live = job.needs_vid
+        compute = ComputeOperator(
+            job, self.run_id, self.vertex_index, gs, emit_live=emit_live
+        )
+
+        if job.join_strategy == JoinStrategy.FULL_OUTER:
+            join = spec.add(self._pin(IndexFullOuterJoinOperator(self.vertex_index)))
+            spec.connect(OneToOneConnector(), msg_scan, join)
+        else:
+            vid_scan = spec.add(self._pin(IndexScanOperator(self.vid_index, name="VidScan")))
+            choose = spec.add(self._pin(MergeChooseOperator()))
+            spec.connect(OneToOneConnector(), msg_scan, choose)
+            spec.connect(OneToOneConnector(), vid_scan, choose)
+            join = spec.add(self._pin(IndexLeftOuterJoinOperator(self.vertex_index)))
+            spec.connect(OneToOneConnector(), choose, join)
+
+        spec.add(self._pin(compute))
+        spec.connect(OneToOneConnector(), join, compute)
+
+        # --- message combination: two-stage group-by (Figure 7) --------
+        receiver_out = self._message_groupby(spec, compute)
+        msg_write = spec.add(
+            self._pin(MsgWriteOperator(self.run_id, superstep, bundle_codec))
+        )
+        spec.connect(OneToOneConnector(), receiver_out, msg_write)
+
+        # --- Vid maintenance for the left outer join plan ---------------
+        # (connected before mutations so the fresh Vid index exists when
+        # the mutation operator patches it; the engine executes ready
+        # operators in edge-attachment order).
+        if emit_live:
+            vid_load = spec.add(
+                self._pin(IndexBulkLoadOperator(self.vid_index, self._vid_factory()))
+            )
+            spec.connect(
+                OneToOneConnector(), compute, vid_load, port=ComputeOperator.LIVE
+            )
+
+        # --- graph mutations (Figure 5) ---------------------------------
+        mutation = spec.add(
+            self._pin(
+                VertexMutationOperator(
+                    job,
+                    self.vertex_index,
+                    vid_index=self.vid_index if emit_live else None,
+                )
+            )
+        )
+        spec.connect(
+            MToNPartitioningConnector(
+                key_fn=lambda m: m[1],
+                partition_fn=self._vid_partition_fn(),
+            ),
+            compute,
+            mutation,
+            port=ComputeOperator.MUT,
+        )
+
+        # --- global state revision (Figure 4) ---------------------------
+        local_gs = spec.add(self._pin(LocalGSOperator(job)))
+        spec.connect(OneToOneConnector(), compute, local_gs, port=ComputeOperator.HALT)
+        spec.connect(OneToOneConnector(), compute, local_gs, port=ComputeOperator.AGG)
+        global_gs = spec.add(GlobalGSOperator(job, self.dfs, self.gs_path, gs))
+        global_gs.partition_constraint = CountConstraint(1)
+        spec.connect(MToOneAggregatorConnector(), local_gs, global_gs)
+        spec.connect(
+            MToOneAggregatorConnector(), compute, global_gs, port=ComputeOperator.STATS
+        )
+        spec.connect(
+            MToOneAggregatorConnector(),
+            mutation,
+            global_gs,
+            port=VertexMutationOperator.STATS,
+        )
+        return spec
+
+    def _message_groupby(self, spec, compute):
+        """Attach the selected two-stage group-by; return the last operator."""
+        job = self.job
+        combiner = job.combiner
+        sender_agg = _SenderCombineAggregator(combiner, job.msg_serde)
+        receiver_agg = _ReceiverCombineAggregator(combiner, job.msg_serde)
+        raw_msg_serde = serde.TupleSerde(serde.INT64, job.msg_serde)
+        combined_serde = serde.TupleSerde(
+            serde.BYTES, combiner.bundle_serde(job.msg_serde)
+        )
+        memory = job.groupby_memory_bytes
+
+        if job.groupby_strategy == GroupByStrategy.SORT:
+            sender = SortGroupByOperator(
+                key_fn=lambda t: encode_key(t[0]),
+                aggregator=sender_agg,
+                tuple_serde=raw_msg_serde,
+                memory_limit_bytes=memory,
+                name="SenderSortGroupBy",
+            )
+        else:
+            sender = HashSortGroupByOperator(
+                key_fn=lambda t: encode_key(t[0]),
+                aggregator=sender_agg,
+                memory_limit_bytes=memory,
+                name="SenderHashSortGroupBy",
+            )
+        spec.add(self._pin(sender))
+        spec.connect(OneToOneConnector(), compute, sender, port=ComputeOperator.MSG)
+
+        partition_fn = self._vid_partition_fn()
+        if job.connector_policy == ConnectorPolicy.MERGED:
+            connector = MToNPartitioningMergingConnector(
+                key_fn=lambda t: decode_key(t[0]),
+                sort_key_fn=lambda t: t[0],
+                tuple_serde=combined_serde,
+                partition_fn=partition_fn,
+            )
+            receiver = PreclusteredGroupByOperator(
+                key_fn=lambda t: t[0],
+                aggregator=receiver_agg,
+                name="ReceiverPreclusteredGroupBy",
+            )
+        else:
+            connector = MToNPartitioningConnector(
+                key_fn=lambda t: decode_key(t[0]),
+                tuple_serde=combined_serde,
+                partition_fn=partition_fn,
+            )
+            if job.groupby_strategy == GroupByStrategy.SORT:
+                receiver = SortGroupByOperator(
+                    key_fn=lambda t: t[0],
+                    aggregator=receiver_agg,
+                    tuple_serde=combined_serde,
+                    memory_limit_bytes=memory,
+                    name="ReceiverSortGroupBy",
+                )
+            else:
+                receiver = HashSortGroupByOperator(
+                    key_fn=lambda t: t[0],
+                    aggregator=receiver_agg,
+                    memory_limit_bytes=memory,
+                    name="ReceiverHashSortGroupBy",
+                )
+        spec.add(self._pin(receiver))
+        spec.connect(connector, sender, receiver)
+        return receiver
+
+    # ------------------------------------------------------------------
+    # result writing
+    # ------------------------------------------------------------------
+    def dump_plan(self, output_path, format_record):
+        """Scan the final Vertex relation and write it back to HDFS."""
+        job = self.job
+        spec = JobSpec("%s-dump" % job.name)
+        codec = job.vertex_codec()
+        scan = spec.add(self._pin(IndexScanOperator(self.vertex_index)))
+
+        def decode(pair):
+            from repro.pregelix.types import decode_vertex
+
+            key, value = pair
+            return decode_vertex(codec, decode_key(key), value)
+
+        to_record = spec.add(self._pin(MapOperator(decode, name="DecodeVertex")))
+        spec.connect(OneToOneConnector(), scan, to_record)
+        write = spec.add(
+            self._pin(
+                HDFSWriteOperator(
+                    self.dfs,
+                    path_for_partition=lambda p: "%s/part-%05d" % (output_path, p),
+                    format_tuple=format_record,
+                )
+            )
+        )
+        spec.connect(OneToOneConnector(), to_record, write)
+        return spec
+
+    # ------------------------------------------------------------------
+    # job pipelining support
+    # ------------------------------------------------------------------
+    def reactivation_plan(self):
+        """Between pipelined jobs: reactivate all vertices, rebuild Vid."""
+        spec = JobSpec("%s-reactivate" % self.job.name)
+        reactivate = spec.add(self._pin(_ReactivateOperator(self.job, self.vertex_index)))
+        if self.job.needs_vid:
+            vid_load = spec.add(
+                self._pin(IndexBulkLoadOperator(self.vid_index, self._vid_factory()))
+            )
+            spec.connect(
+                OneToOneConnector(), reactivate, vid_load, port=_ReactivateOperator.LIVE
+            )
+        return spec

@@ -1,0 +1,184 @@
+"""Job pipelining (paper Section 5.6).
+
+An array of *compatible* jobs — producer/consumer over the same vertex
+data, interpreting the bits the same way — can be chained without HDFS
+round trips or index re-bulk-loads: the vertex relation loaded for the
+first job stays resident, and between jobs a cheap reactivation plan
+marks every vertex active again (and rebuilds ``Vid`` for left-outer-join
+plans). This was motivated by the Genomix assembler's chained graph
+cleaning rounds; the user trades reduced fault-tolerance (no checkpoint
+coverage across job boundaries) for speed.
+"""
+
+import time
+
+from repro.common.errors import ReproError
+from repro.pregelix.physical import PlanGenerator
+from repro.pregelix.types import GlobalState, encode_global_state
+
+
+class PipelineOutcome:
+    """Results of a pipelined multi-job run."""
+
+    def __init__(self, outcomes, load_seconds, dump_seconds):
+        self.outcomes = outcomes
+        self.load_seconds = load_seconds
+        self.dump_seconds = dump_seconds
+
+    @property
+    def total_seconds(self):
+        return (
+            self.load_seconds
+            + sum(outcome.stats.total_elapsed for outcome in self.outcomes)
+            + self.dump_seconds
+        )
+
+    @property
+    def final_gs(self):
+        return self.outcomes[-1].gs
+
+
+def check_compatibility(jobs):
+    """Compatible jobs must interpret the vertex bits identically."""
+    if not jobs:
+        raise ReproError("pipeline needs at least one job")
+    first = jobs[0]
+    for job in jobs[1:]:
+        same_types = (
+            type(job.value_serde) is type(first.value_serde)
+            and type(job.edge_serde) is type(first.edge_serde)
+        )
+        if not same_types:
+            raise ReproError(
+                "job %r is not pipeline-compatible with %r "
+                "(vertex value/edge serdes differ)" % (job.name, first.name)
+            )
+
+
+def compatible_segments(jobs):
+    """Split a job array into maximal runs of pipeline-compatible jobs.
+
+    The paper pipelines between *compatible contiguous* jobs; a mixed
+    array falls back to HDFS materialization at each incompatibility
+    boundary.
+    """
+    segments = []
+    current = []
+    for job in jobs:
+        if not current:
+            current = [job]
+            continue
+        try:
+            check_compatibility([current[0], job])
+            current.append(job)
+        except ReproError:
+            segments.append(current)
+            current = [job]
+    if current:
+        segments.append(current)
+    return segments
+
+
+def run_job_array(driver, jobs, input_path, output_path=None, parsers=None, formatters=None):
+    """Run a mixed job array (paper Section 5.6's general form).
+
+    Compatible contiguous jobs are pipelined over a resident vertex
+    relation; at each incompatibility boundary the intermediate result
+    is materialized to HDFS and reloaded with the next segment's types.
+
+    :param parsers: optional ``{job.name: parse_line}`` overrides; the
+        segment's first job's parser loads that segment.
+    :param formatters: optional ``{job.name: format_record}`` overrides;
+        the segment's last job's formatter writes the boundary dump.
+    :returns: list of :class:`PipelineOutcome`, one per segment.
+    """
+    parsers = parsers or {}
+    formatters = formatters or {}
+    segments = compatible_segments(jobs)
+    outcomes = []
+    current_input = input_path
+    for index, segment in enumerate(segments):
+        last = index == len(segments) - 1
+        segment_output = output_path if last else "%s-stage-%d" % (
+            output_path or "/pregelix/job-array", index
+        )
+        outcome = run_pipeline(
+            driver,
+            segment,
+            current_input,
+            output_path=segment_output,
+            parse_line=parsers.get(segment[0].name),
+            format_record=formatters.get(segment[-1].name),
+        )
+        outcomes.append(outcome)
+        current_input = segment_output
+    return outcomes
+
+
+def run_pipeline(driver, jobs, input_path, output_path=None, parse_line=None, format_record=None):
+    """Run ``jobs`` back to back over one resident vertex relation.
+
+    Loads once with the first job's configuration, runs each job's
+    superstep loop against the shared indexes, reactivating all vertices
+    in between, and dumps once at the end.
+    """
+    from repro.pregelix.runtime import JobOutcome, _default_formats, _run_ids, _sanitize
+
+    check_compatibility(jobs)
+    parse_line, format_record = _default_formats(parse_line, format_record)
+    run_id = "pipeline-%s-%04d" % (_sanitize(jobs[0].name), next(_run_ids))
+
+    from repro.pregelix.physical import PartitionMap
+
+    partition_map = PartitionMap.over_nodes(
+        driver.cluster.alive_node_ids(),
+        driver.cluster.scheduler.default_partitions_per_node,
+    )
+
+    first_generator = PlanGenerator(jobs[0], driver.dfs, run_id, partition_map)
+    load_started = time.perf_counter()
+    load_result = driver.cluster.execute(
+        first_generator.loading_plan(input_path, parse_line)
+    )
+    load_seconds = time.perf_counter() - load_started
+    gs = load_result.collected["gs"][0][0]
+
+    outcomes = []
+    generator = first_generator
+    for position, job in enumerate(jobs):
+        generator = PlanGenerator(job, driver.dfs, run_id, partition_map)
+        if position > 0:
+            # Fresh Pregel semantics for the next job: all vertices
+            # active, superstep counter reset, counts carried over.
+            driver.cluster.execute(generator.reactivation_plan())
+            gs = GlobalState(
+                halt=False,
+                aggregate=None,
+                superstep=0,
+                num_vertices=gs.num_vertices,
+                num_edges=gs.num_edges,
+            )
+            driver.dfs.write(
+                generator.gs_path, encode_global_state(job.gs_codec(), gs)
+            )
+        gs, generator, stats, recoveries = driver._superstep_loop(job, generator, gs)
+        outcomes.append(
+            JobOutcome(
+                job=job,
+                run_id=run_id,
+                gs=gs,
+                stats=stats,
+                load_seconds=load_seconds if position == 0 else 0.0,
+                dump_seconds=0.0,
+                recoveries=recoveries,
+                output_path=None,
+            )
+        )
+
+    dump_seconds = 0.0
+    if output_path is not None:
+        dump_started = time.perf_counter()
+        driver.cluster.execute(generator.dump_plan(output_path, format_record))
+        dump_seconds = time.perf_counter() - dump_started
+    driver.cleanup(generator)
+    return PipelineOutcome(outcomes, load_seconds, dump_seconds)

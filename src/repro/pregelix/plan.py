@@ -1,0 +1,120 @@
+"""The logical Pregel plan (paper Section 3, Figures 3-5) as data.
+
+The paper's central idea is that one *logical* query plan captures
+Pregel's semantics, and many *physical* plans realize it. This module
+encodes the logical plan — the relations of Table 1, the UDFs of
+Table 2, and the dataflows D1-D12 of Figures 3-5 and 8 — and provides
+:func:`verify_realization`, which checks that a generated physical
+:class:`~repro.hyracks.job.JobSpec` contains a realization of every
+logical dataflow required by a job's configuration. The plan-generator
+tests run it across all sixteen physical plans.
+"""
+
+from dataclasses import dataclass
+
+from repro.pregelix.api import ConnectorPolicy, GroupByStrategy, JoinStrategy
+
+#: Table 1 — the nested relational schema modeling Pregel state.
+RELATIONS = {
+    "Vertex": ("vid", "halt", "value", "edges"),
+    "Msg": ("vid", "payload"),
+    "GS": ("halt", "aggregate", "superstep"),
+}
+
+#: Table 2 — the UDFs that capture a Pregel program.
+UDFS = {
+    "compute": "Executed at each active vertex in every superstep.",
+    "combine": "Aggregation function for messages.",
+    "aggregate": "Aggregation function for the global state.",
+    "resolve": "Used to resolve conflicts in graph mutations.",
+}
+
+
+@dataclass(frozen=True)
+class LogicalFlow:
+    """One labeled dataflow from Figures 3-5 and 8."""
+
+    label: str
+    data: str
+    figure: str
+
+
+#: Figures 3-5 and 8 — the labeled dataflows of the logical plan.
+FLOWS = {
+    "D1": LogicalFlow("D1", "join output (compute input)", "3"),
+    "D2": LogicalFlow("D2", "Vertex tuples (updates)", "3"),
+    "D3": LogicalFlow("D3", "Msg tuples", "3"),
+    "D4": LogicalFlow("D4", "global halting state contribution", "4"),
+    "D5": LogicalFlow("D5", "values for aggregate", "4"),
+    "D6": LogicalFlow("D6", "Vertex tuples for deletions and insertions", "5"),
+    "D7": LogicalFlow("D7", "Msg tuples after combination", "3"),
+    "D8": LogicalFlow("D8", "the global halt state", "4"),
+    "D9": LogicalFlow("D9", "the global aggregate value", "4"),
+    "D10": LogicalFlow("D10", "the increased superstep", "4"),
+    "D11": LogicalFlow("D11", "(vid, halt) tuples", "8"),
+    "D12": LogicalFlow("D12", "(vid, NULL) tuples (live set)", "8"),
+}
+
+
+def expected_operator_types(job):
+    """The physical operator types realizing each logical flow for ``job``.
+
+    Returns ``{flow_label: [operator type names]}`` — any one of the
+    listed types realizes the flow under the job's physical hints.
+    """
+    if job.join_strategy == JoinStrategy.FULL_OUTER:
+        join_ops = ["IndexFullOuterJoinOperator"]
+    else:
+        join_ops = ["MergeChooseOperator", "IndexLeftOuterJoinOperator"]
+
+    if job.connector_policy == ConnectorPolicy.MERGED:
+        receiver = ["PreclusteredGroupByOperator"]
+    elif job.groupby_strategy == GroupByStrategy.SORT:
+        receiver = ["SortGroupByOperator"]
+    else:
+        receiver = ["HashSortGroupByOperator"]
+
+    expected = {
+        # D1: the (filtered) join output feeding compute.
+        "D1": join_ops + ["ComputeOperator"],
+        # D2: vertex updates pushed into the index inside compute.
+        "D2": ["ComputeOperator"],
+        # D3/D7: messages through the two-stage group-by into Msg.
+        "D3": (
+            ["SortGroupByOperator"]
+            if job.groupby_strategy == GroupByStrategy.SORT
+            else ["HashSortGroupByOperator"]
+        ),
+        "D7": receiver + ["MsgWriteOperator"],
+        # D4/D5 -> D8/D9/D10: the two-stage GS revision.
+        "D4": ["LocalGSOperator"],
+        "D5": ["LocalGSOperator"],
+        "D8": ["GlobalGSOperator"],
+        "D9": ["GlobalGSOperator"],
+        "D10": ["GlobalGSOperator"],
+        # D6: mutations grouped at the receiver and resolved.
+        "D6": ["VertexMutationOperator"],
+    }
+    if job.needs_vid:
+        # D11/D12: the live-vertex set bulk loaded into Vid.
+        expected["D11"] = ["ComputeOperator"]
+        expected["D12"] = ["IndexBulkLoadOperator"]
+    return expected
+
+
+def verify_realization(spec, job):
+    """Check that ``spec`` realizes every logical flow required by ``job``.
+
+    Returns the ``{flow: operator}`` mapping; raises ``AssertionError``
+    naming the first unrealized flow otherwise.
+    """
+    present = {type(op).__name__ for op in spec.operators}
+    realization = {}
+    for flow, operator_types in expected_operator_types(job).items():
+        missing = [name for name in operator_types if name not in present]
+        assert not missing, (
+            "logical flow %s (%s) lacks physical operators %s"
+            % (flow, FLOWS[flow].data, missing)
+        )
+        realization[flow] = operator_types
+    return realization

@@ -1,0 +1,229 @@
+"""The Pregelix driver: load, iterate supersteps, dump, recover.
+
+This is the client-side control loop that the paper's master performs:
+generate a physical plan per superstep, submit it to the Hyracks cluster,
+read back the revised GS tuple, and stop when the global halt state is
+reached. Checkpoints are taken at the user-selected interval, and
+recoverable failures (machine interruptions, disk I/O errors) trigger
+checkpoint replay on the surviving machines.
+"""
+
+import itertools
+import time
+
+from repro.common.errors import CheckpointNotFound, JobFailure
+from repro.pregelix.checkpoint import Checkpointer
+from repro.pregelix.failure import FailureManager
+from repro.pregelix.physical import PartitionMap, PlanGenerator
+from repro.pregelix.stats import StatisticsCollector
+
+_run_ids = itertools.count(1)
+
+
+class JobOutcome:
+    """Everything a client learns from a completed Pregelix run."""
+
+    def __init__(self, job, run_id, gs, stats, load_seconds, dump_seconds, recoveries, output_path):
+        self.job = job
+        self.run_id = run_id
+        self.gs = gs
+        self.stats = stats
+        self.load_seconds = load_seconds
+        self.dump_seconds = dump_seconds
+        self.recoveries = recoveries
+        self.output_path = output_path
+
+    @property
+    def supersteps(self):
+        return self.gs.superstep
+
+    @property
+    def total_seconds(self):
+        return self.load_seconds + self.stats.total_elapsed + self.dump_seconds
+
+    @property
+    def avg_iteration_seconds(self):
+        return self.stats.avg_iteration_seconds
+
+    def __repr__(self):
+        return "JobOutcome(%s: %d supersteps, %.3fs)" % (
+            self.job.name,
+            self.supersteps,
+            self.total_seconds,
+        )
+
+
+class PregelixDriver:
+    """Runs :class:`~repro.pregelix.api.PregelixJob` instances on a cluster.
+
+    :param cluster: the :class:`~repro.hyracks.HyracksCluster` to run on.
+    :param dfs: the :class:`~repro.hdfs.MiniDFS` holding inputs, outputs,
+        GS, and checkpoints.
+    """
+
+    def __init__(self, cluster, dfs):
+        self.cluster = cluster
+        self.dfs = dfs
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job,
+        input_path,
+        output_path=None,
+        parse_line=None,
+        format_record=None,
+        keep_state=False,
+    ):
+        """Execute ``job`` end to end; returns a :class:`JobOutcome`.
+
+        :param parse_line: input-line parser; defaults to the adjacency
+            text format of :mod:`repro.graphs.io`.
+        :param format_record: output formatter for the final vertices.
+        :param keep_state: keep the loaded vertex index and run state
+            around (used by job pipelining) instead of cleaning up.
+        """
+        parse_line, format_record = _default_formats(parse_line, format_record)
+        run_id = "%s-%04d" % (_sanitize(job.name), next(_run_ids))
+        partition_map = PartitionMap.over_nodes(
+            self.cluster.alive_node_ids(),
+            self.cluster.scheduler.default_partitions_per_node,
+        )
+        generator = PlanGenerator(job, self.dfs, run_id, partition_map)
+
+        load_started = time.perf_counter()
+        load_result = self.cluster.execute(generator.loading_plan(input_path, parse_line))
+        load_seconds = time.perf_counter() - load_started
+        gs = load_result.collected["gs"][0][0]
+
+        gs, generator, stats, recoveries = self._superstep_loop(job, generator, gs)
+
+        dump_seconds = 0.0
+        if output_path is not None:
+            dump_started = time.perf_counter()
+            self.cluster.execute(generator.dump_plan(output_path, format_record))
+            dump_seconds = time.perf_counter() - dump_started
+
+        outcome = JobOutcome(
+            job=job,
+            run_id=run_id,
+            gs=gs,
+            stats=stats,
+            load_seconds=load_seconds,
+            dump_seconds=dump_seconds,
+            recoveries=recoveries,
+            output_path=output_path,
+        )
+        if keep_state:
+            outcome.generator = generator
+        else:
+            self.cleanup(generator)
+        return outcome
+
+    def read_output(self, output_path):
+        """The final vertex lines written by a run's dump plan."""
+        lines = []
+        for path in self.dfs.list_files(output_path):
+            lines.extend(self.dfs.read_text_lines(path))
+        return lines
+
+    # ------------------------------------------------------------------
+    # the superstep loop (shared with job pipelining)
+    # ------------------------------------------------------------------
+    def _superstep_loop(self, job, generator, gs):
+        checkpointer = Checkpointer(generator)
+        failures = FailureManager(self.cluster)
+        stats = StatisticsCollector()
+        recoveries = 0
+        optimizer = None
+        if job.auto_optimize:
+            from repro.pregelix.optimizer import CostBasedOptimizer
+
+            optimizer = CostBasedOptimizer(generator.partition_map.num_partitions)
+            optimizer.apply(
+                job, optimizer.initial_plan(gs.num_vertices, gs.num_edges)
+            )
+            stats.optimizer_trace = optimizer.trace
+        while not gs.halt:
+            if job.max_supersteps is not None and gs.superstep >= job.max_supersteps:
+                break
+            try:
+                result = self.cluster.execute(generator.superstep_plan(gs))
+                gs = result.collected["gs"][0][0]
+                stats.record_superstep(gs.superstep, result)
+                if optimizer is not None and not gs.halt:
+                    optimizer.apply(
+                        job,
+                        optimizer.next_plan(stats.supersteps[-1], gs.num_vertices),
+                    )
+                if (
+                    job.checkpoint_interval
+                    and gs.superstep % job.checkpoint_interval == 0
+                    and not gs.halt
+                ):
+                    self.cluster.execute(checkpointer.checkpoint_plan(gs.superstep))
+                    checkpointer.save_gs(gs.superstep)
+            except JobFailure as failure:
+                if not failures.is_recoverable(failure):
+                    raise
+                failures.record(failure)
+                gs, generator = self._recover(job, generator, checkpointer, failures)
+                checkpointer = Checkpointer(generator)
+                recoveries += 1
+        stats.record_cluster(self.cluster)
+        return gs, generator, stats, recoveries
+
+    def _recover(self, job, generator, checkpointer, failures):
+        """Reload the latest checkpoint onto the surviving machines."""
+        superstep = checkpointer.latest_checkpoint()
+        if superstep is None:
+            raise CheckpointNotFound(
+                "worker failed and no checkpoint exists for %s" % generator.run_id
+            )
+        healthy = failures.healthy_nodes()
+        new_map = PartitionMap(
+            [healthy[i % len(healthy)] for i in range(generator.partition_map.num_partitions)]
+        )
+        new_generator = PlanGenerator(job, self.dfs, generator.run_id, new_map)
+        self.cluster.execute(checkpointer.recovery_plan(superstep, new_generator))
+        gs = checkpointer.restore_gs(superstep)
+        return gs, new_generator
+
+    # ------------------------------------------------------------------
+    # cleanup
+    # ------------------------------------------------------------------
+    def cleanup(self, generator):
+        """Drop a run's indexes and message files from every node."""
+        run_id = generator.run_id
+        for node in self.cluster.nodes.values():
+            registry = node.services.get("indexes", {})
+            doomed = [
+                key
+                for key in registry
+                if key[0] in (generator.vertex_index, generator.vid_index)
+            ]
+            for key in doomed:
+                index = registry.pop(key)
+                if hasattr(index, "destroy"):
+                    index.destroy()
+            pregelix_state = node.services.get("pregelix", {}).pop(run_id, None)
+            if pregelix_state:
+                for path in pregelix_state.get("msg_files", {}).values():
+                    if path:
+                        node.files.delete_path(path)
+        self.dfs.delete("/pregelix/%s" % run_id, recursive=True)
+
+
+def _sanitize(name):
+    return "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
+
+
+def _default_formats(parse_line, format_record):
+    if parse_line is None or format_record is None:
+        from repro.graphs import io as graph_io
+
+        parse_line = parse_line or graph_io.parse_adjacency_line
+        format_record = format_record or graph_io.format_vertex_record
+    return parse_line, format_record

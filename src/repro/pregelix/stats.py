@@ -1,0 +1,145 @@
+"""The statistics collector (paper Section 5.7).
+
+Gathers per-superstep system counters (elapsed time, network and disk
+volume) and Pregel-specific counters (vertices processed, messages sent
+and combined), plus cluster-wide snapshots such as the live machine set
+and buffer-cache behaviour. The benchmark harness reads these to produce
+the paper's figures.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SuperstepStats:
+    """Everything recorded about one executed superstep."""
+
+    superstep: int
+    elapsed: float
+    network_bytes: int
+    network_messages: int
+    disk_read_bytes: int
+    disk_write_bytes: int
+    vertices_processed: int
+    messages_sent: int
+    combined_messages: int
+    join_tuples: int = 0
+    index_probes: int = 0
+    cache_misses: int = 0
+    cache_writebacks: int = 0
+    operator_seconds: dict = field(default_factory=dict)
+
+
+class StatisticsCollector:
+    """Accumulates superstep and cluster statistics for one job run."""
+
+    def __init__(self):
+        self.supersteps = []
+        self.live_machines = []
+        self.buffer_cache = {}
+        self.optimizer_trace = None  # set when the job auto-optimizes
+
+    def record_superstep(self, superstep, job_result):
+        self.supersteps.append(
+            SuperstepStats(
+                superstep=superstep,
+                elapsed=job_result.elapsed,
+                network_bytes=job_result.network_io.network_bytes,
+                network_messages=job_result.network_io.network_messages,
+                disk_read_bytes=job_result.disk_io.disk_read_bytes,
+                disk_write_bytes=job_result.disk_io.disk_write_bytes,
+                vertices_processed=job_result.counters.get("vertices_processed"),
+                messages_sent=job_result.counters.get("messages_sent"),
+                combined_messages=job_result.counters.get("combined_messages"),
+                join_tuples=job_result.counters.get("join_tuples"),
+                index_probes=job_result.counters.get("index_probes"),
+                cache_misses=job_result.cache_misses,
+                cache_writebacks=job_result.cache_writebacks,
+                operator_seconds=dict(job_result.operator_seconds),
+            )
+        )
+
+    def record_cluster(self, cluster):
+        """Snapshot the live machine set and buffer-cache counters."""
+        self.live_machines = cluster.alive_node_ids()
+        self.buffer_cache = {
+            node_id: node.buffer_cache.stats.snapshot()
+            for node_id, node in cluster.nodes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    @property
+    def num_supersteps(self):
+        return len(self.supersteps)
+
+    @property
+    def total_elapsed(self):
+        return sum(stats.elapsed for stats in self.supersteps)
+
+    @property
+    def avg_iteration_seconds(self):
+        if not self.supersteps:
+            return 0.0
+        return self.total_elapsed / len(self.supersteps)
+
+    @property
+    def total_messages_sent(self):
+        return sum(stats.messages_sent for stats in self.supersteps)
+
+    @property
+    def total_network_bytes(self):
+        return sum(stats.network_bytes for stats in self.supersteps)
+
+    @property
+    def total_spill_bytes(self):
+        return sum(stats.disk_write_bytes for stats in self.supersteps)
+
+    def summary(self):
+        return {
+            "supersteps": self.num_supersteps,
+            "total_elapsed": self.total_elapsed,
+            "avg_iteration_seconds": self.avg_iteration_seconds,
+            "messages_sent": self.total_messages_sent,
+            "network_bytes": self.total_network_bytes,
+            "spill_bytes": self.total_spill_bytes,
+        }
+
+    def report(self, out=print):
+        """Print the per-superstep statistics table (the collector's UI)."""
+        header = (
+            "superstep",
+            "seconds",
+            "processed",
+            "messages",
+            "combined",
+            "net KB",
+            "spill KB",
+            "cache misses",
+        )
+        out("  ".join("%12s" % column for column in header))
+        for record in self.supersteps:
+            out(
+                "  ".join(
+                    "%12s" % value
+                    for value in (
+                        record.superstep,
+                        "%.3f" % record.elapsed,
+                        record.vertices_processed,
+                        record.messages_sent,
+                        record.combined_messages,
+                        record.network_bytes // 1024,
+                        (record.disk_read_bytes + record.disk_write_bytes) // 1024,
+                        record.cache_misses,
+                    )
+                )
+            )
+        if self.live_machines:
+            out("live machines: %s" % ", ".join(self.live_machines))
+        if self.optimizer_trace is not None:
+            for index, decision in enumerate(self.optimizer_trace.decisions):
+                out(
+                    "plan ss%d: %s (%s)"
+                    % (index + 1, decision.join_strategy.value, decision.reason)
+                )

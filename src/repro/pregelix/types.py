@@ -1,0 +1,106 @@
+"""The nested relational schema that models Pregel state (paper Table 1).
+
+``Vertex (vid, halt, value, edges)`` — one row per vertex.
+``Msg (vid, payload)`` — combined messages addressed to ``vid``.
+``GS (halt, aggregate, superstep)`` — the single-row global state.
+
+Vertex rows are stored serialized inside the per-partition index; this
+module builds their serdes from the user-selected value/edge serdes, and
+defines the :class:`GlobalState` record stored in HDFS.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.common import serde
+
+
+@dataclass
+class VertexRecord:
+    """A decoded row of the ``Vertex`` relation."""
+
+    vid: int
+    halt: bool = False
+    value: object = None
+    edges: list = field(default_factory=list)
+
+    def copy(self):
+        return replace(self, edges=list(self.edges))
+
+
+def vertex_value_serde(value_serde, edge_serde):
+    """Serde for the stored portion of a vertex row: (halt, value, edges).
+
+    The vid is the index key and is not repeated in the value bytes.
+    Edge lists dominate vertex rows, so fixed-size edge values are packed
+    without per-element framing (16 bytes per edge for float weights).
+    """
+    edge_value_size = getattr(edge_serde, "fixed_size", None)
+    if edge_value_size is not None:
+        edges = serde.PackedListSerde(
+            serde.FixedPairSerde(serde.INT64, edge_serde, 8, edge_value_size),
+            8 + edge_value_size,
+        )
+    else:
+        edges = serde.ListSerde(serde.PairSerde(serde.INT64, edge_serde))
+    return serde.TupleSerde(serde.BOOL, serde.OptionalSerde(value_serde), edges)
+
+
+def encode_vertex(codec, record):
+    """Serialize a :class:`VertexRecord`'s stored fields."""
+    return codec.dumps((record.halt, record.value, [tuple(e) for e in record.edges]))
+
+
+def decode_vertex(codec, vid, data):
+    """Rebuild a :class:`VertexRecord` from key and stored bytes."""
+    halt, value, edges = codec.loads(data)
+    return VertexRecord(vid=vid, halt=halt, value=value, edges=edges)
+
+
+@dataclass
+class GlobalState:
+    """The ``GS`` relation (one tuple), plus the vertex/edge statistics
+    the paper's statistics collector tracks alongside it."""
+
+    halt: bool = False
+    aggregate: object = None
+    superstep: int = 0
+    num_vertices: int = 0
+    num_edges: int = 0
+
+    def advanced(self, halt, aggregate, num_vertices, num_edges):
+        """The GS tuple for the next superstep."""
+        return GlobalState(
+            halt=halt,
+            aggregate=aggregate,
+            superstep=self.superstep + 1,
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+        )
+
+
+def global_state_serde(aggregate_serde):
+    """Serde for the GS tuple stored in (simulated) HDFS."""
+    return serde.TupleSerde(
+        serde.BOOL,
+        serde.OptionalSerde(aggregate_serde),
+        serde.INT64,
+        serde.INT64,
+        serde.INT64,
+    )
+
+
+def encode_global_state(codec, gs):
+    return codec.dumps(
+        (gs.halt, gs.aggregate, gs.superstep, gs.num_vertices, gs.num_edges)
+    )
+
+
+def decode_global_state(codec, data):
+    halt, aggregate, superstep, num_vertices, num_edges = codec.loads(data)
+    return GlobalState(
+        halt=halt,
+        aggregate=aggregate,
+        superstep=superstep,
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+    )

@@ -1,0 +1,121 @@
+"""Unit tests for the benchmark harness building blocks."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import ExperimentEnv, Measurement
+from repro.bench.reporting import format_series, print_series, print_table
+from repro.common import costmodel
+
+
+class TestReporting:
+    def collect(self):
+        lines = []
+        return lines, lines.append
+
+    def test_print_table_alignment(self):
+        lines, out = self.collect()
+        print_table("T", ["a", "bbb"], [(1, 2.5), ("xx", None)], out=out)
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert any("2.500" in line for line in lines)
+        assert any("-" in line for line in lines)  # None rendered as dash
+
+    def test_format_series_with_fail(self):
+        text = format_series("sys", [(0.1, 2.0), (0.2, "FAIL")])
+        assert text.startswith("sys:")
+        assert "FAIL" in text
+        assert "(0.100, 2.000)" in text
+
+    def test_print_series(self):
+        lines, out = self.collect()
+        print_series("F", {"a": [(1, 2)], "b": [(3, "FAIL")]}, out=out)
+        assert lines[0] == "F"
+        assert len(lines) == 4  # title + 2 series + blank
+
+    def test_scientific_rendering(self):
+        text = format_series("s", [(1, 123456.789), (2, 0.0001)])
+        assert "e+" in text or "e-" in text
+
+
+class TestMeasurement:
+    def test_ok_point(self):
+        m = Measurement(
+            system="s", dataset="d", ratio=0.125, status="ok",
+            sim_total_seconds=10.5, sim_avg_iteration_seconds=2.1,
+        )
+        assert m.ok
+        assert m.point() == (0.125, 10.5)
+        assert m.point("sim_avg_iteration_seconds") == (0.125, 2.1)
+
+    def test_fail_point(self):
+        m = Measurement(system="s", dataset="d", ratio=0.5, status="fail")
+        assert not m.ok
+        assert m.point() == (0.5, "FAIL")
+        assert math.isnan(m.total_seconds)
+
+
+class TestCostModel:
+    def test_pressure_penalty_monotone(self):
+        values = [costmodel.pressure_penalty(p, 1.0) for p in (0.0, 0.3, 0.6, 0.8, 0.95)]
+        assert values[0] == 1.0
+        assert values == sorted(values)
+        assert values[-1] > 10  # the GC wall
+
+    def test_pressure_penalty_zero_budget(self):
+        assert costmodel.pressure_penalty(100, 0) == 1.0
+
+    def test_disk_and_network_seconds(self):
+        assert costmodel.disk_seconds(costmodel.DISK_BANDWIDTH) == pytest.approx(1.0)
+        assert costmodel.disk_seconds(costmodel.DISK_BANDWIDTH, workers=2) == pytest.approx(0.5)
+        assert costmodel.paged_disk_seconds(costmodel.PAGED_IO_BANDWIDTH) == pytest.approx(1.0)
+        assert costmodel.network_seconds(0) == 0.0
+
+    def test_paged_io_is_slower_than_sequential(self):
+        assert costmodel.PAGED_IO_BANDWIDTH < costmodel.DISK_BANDWIDTH
+
+
+class TestExperimentEnv:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return ExperimentEnv(num_nodes=2)
+
+    def test_ratio_matches_paper_large(self, env):
+        # By construction: Large's ratio equals the paper's exactly.
+        spec, _path, _n = env.dataset("webmap", "large")
+        paper_ratio = spec.paper_size_gb / (32 * 8.0)
+        assert env.ratio("webmap", "large") == pytest.approx(paper_ratio, rel=1e-6)
+
+    def test_node_memory_scales_with_machines(self, env):
+        assert env.node_memory("webmap", paper_machines=16) == pytest.approx(
+            env.node_memory("webmap", paper_machines=32) / 2, rel=0.01
+        )
+
+    def test_ratio_halves_with_double_machines(self, env):
+        r32 = env.ratio("btc", "tiny", paper_machines=32)
+        r16 = env.ratio("btc", "tiny", paper_machines=16)
+        assert r16 == pytest.approx(2 * r32, rel=1e-6)
+
+    def test_dataset_idempotent(self, env):
+        spec1, path1, bytes1 = env.dataset("btc", "tiny")
+        spec2, path2, bytes2 = env.dataset("btc", "tiny")
+        assert path1 == path2 and bytes1 == bytes2
+
+
+class TestLocReport:
+    def test_loc_report(self):
+        from repro.bench.loc import count_lines, loc_report
+
+        report = loc_report()
+        assert report["pregelix_core"] > 500
+        assert report["leveraged_infrastructure"] > report["pregelix_core"]
+        assert report["paper_ratio"] == pytest.approx(32197 / 8514)
+
+    def test_count_lines_skips_comments_and_docstrings(self, tmp_path):
+        from repro.bench.loc import count_lines
+
+        (tmp_path / "m.py").write_text(
+            '"""docstring\nspanning lines\n"""\n# comment\nx = 1\n\ny = 2\n'
+        )
+        assert count_lines(str(tmp_path)) == 2

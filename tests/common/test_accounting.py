@@ -1,0 +1,109 @@
+"""Tests for memory budgets and counters."""
+
+import pytest
+
+from repro.common.accounting import Counters, IOCounters, MemoryBudget
+from repro.common.errors import MemoryBudgetExceeded
+
+
+class TestMemoryBudget:
+    def test_allocate_and_release(self):
+        budget = MemoryBudget(100)
+        budget.allocate(40)
+        budget.allocate(30)
+        assert budget.used == 70
+        assert budget.remaining == 30
+        budget.release(50)
+        assert budget.used == 20
+
+    def test_over_allocation_raises(self):
+        budget = MemoryBudget(100)
+        budget.allocate(90)
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            budget.allocate(20, what="messages")
+        assert info.value.requested == 20
+        assert info.value.used == 90
+        assert "messages" in str(info.value)
+
+    def test_failed_allocation_leaves_usage_unchanged(self):
+        budget = MemoryBudget(10)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.allocate(11)
+        assert budget.used == 0
+
+    def test_try_allocate(self):
+        budget = MemoryBudget(10)
+        assert budget.try_allocate(10)
+        assert not budget.try_allocate(1)
+        assert budget.used == 10
+
+    def test_peak_tracking(self):
+        budget = MemoryBudget(100)
+        budget.allocate(80)
+        budget.release(70)
+        budget.allocate(20)
+        assert budget.peak == 80
+
+    def test_release_more_than_used_raises(self):
+        budget = MemoryBudget(10)
+        budget.allocate(5)
+        with pytest.raises(ValueError):
+            budget.release(6)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(-1)
+
+    def test_reset(self):
+        budget = MemoryBudget(10)
+        budget.allocate(7)
+        budget.reset()
+        assert budget.used == 0
+
+
+class TestIOCounters:
+    def test_recording(self):
+        io = IOCounters()
+        io.record_read(100)
+        io.record_write(200)
+        io.record_network(50, messages=3)
+        snap = io.snapshot()
+        assert snap["disk_reads"] == 1
+        assert snap["disk_read_bytes"] == 100
+        assert snap["disk_write_bytes"] == 200
+        assert snap["network_bytes"] == 50
+        assert snap["network_messages"] == 3
+
+    def test_merge(self):
+        a, b = IOCounters(), IOCounters()
+        a.record_read(10)
+        b.record_read(5)
+        b.record_write(7)
+        a.merge(b)
+        assert a.disk_read_bytes == 15
+        assert a.disk_write_bytes == 7
+
+
+class TestCounters:
+    def test_add_get(self):
+        counters = Counters()
+        counters.add("messages", 5)
+        counters.add("messages", 2)
+        assert counters.get("messages") == 7
+        assert counters.get("missing") == 0
+        assert "messages" in counters
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_set_overrides(self):
+        counters = Counters()
+        counters.add("x", 5)
+        counters.set("x", 1)
+        assert counters.get("x") == 1

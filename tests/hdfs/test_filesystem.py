@@ -1,0 +1,116 @@
+"""Tests for the MiniDFS simulated distributed file system."""
+
+import pytest
+
+from repro.hdfs import MiniDFS
+
+
+@pytest.fixture
+def dfs():
+    return MiniDFS(datanodes=["n0", "n1", "n2"], block_size=16, replication=2)
+
+
+class TestNamespace:
+    def test_write_read_roundtrip(self, dfs):
+        dfs.write("/data/file.txt", b"hello world")
+        assert dfs.read("/data/file.txt") == b"hello world"
+
+    def test_path_normalization(self, dfs):
+        dfs.write("data/a", b"x")
+        assert dfs.exists("/data/a")
+        assert dfs.read("//data/a/") == b"x"
+
+    def test_missing_file_raises(self, dfs):
+        with pytest.raises(FileNotFoundError):
+            dfs.read("/nope")
+
+    def test_list_files_by_prefix(self, dfs):
+        dfs.write("/a/1", b"")
+        dfs.write("/a/2", b"")
+        dfs.write("/b/1", b"")
+        assert dfs.list_files("/a") == ["/a/1", "/a/2"]
+        assert len(dfs.list_files()) == 3
+
+    def test_delete(self, dfs):
+        dfs.write("/x", b"1")
+        assert dfs.delete("/x")
+        assert not dfs.exists("/x")
+        assert not dfs.delete("/x")
+
+    def test_recursive_delete(self, dfs):
+        dfs.write("/ckpt/1/vertex", b"v")
+        dfs.write("/ckpt/1/msg", b"m")
+        dfs.write("/ckpt/2/vertex", b"v")
+        assert dfs.delete("/ckpt/1", recursive=True)
+        assert dfs.list_files("/ckpt") == ["/ckpt/2/vertex"]
+
+    def test_rename(self, dfs):
+        dfs.write("/old", b"data")
+        dfs.rename("/old", "/new")
+        assert dfs.read("/new") == b"data"
+        assert not dfs.exists("/old")
+
+    def test_rename_onto_existing_raises(self, dfs):
+        dfs.write("/a", b"1")
+        dfs.write("/b", b"2")
+        with pytest.raises(FileExistsError):
+            dfs.rename("/a", "/b")
+
+
+class TestBlocks:
+    def test_file_split_into_blocks(self, dfs):
+        dfs.write("/big", bytes(40))
+        locations = dfs.block_locations("/big")
+        assert [loc.length for loc in locations] == [16, 16, 8]
+        assert [loc.offset for loc in locations] == [0, 16, 32]
+
+    def test_replication_factor(self, dfs):
+        dfs.write("/f", bytes(16))
+        (location,) = dfs.block_locations("/f")
+        assert len(location.hosts) == 2
+        assert set(location.hosts) <= {"n0", "n1", "n2"}
+
+    def test_blocks_spread_across_datanodes(self, dfs):
+        dfs.write("/wide", bytes(16 * 6))
+        primaries = [loc.hosts[0] for loc in dfs.block_locations("/wide")]
+        assert set(primaries) == {"n0", "n1", "n2"}
+
+    def test_read_block(self, dfs):
+        dfs.write("/f", b"A" * 16 + b"B" * 16)
+        assert dfs.read_block("/f", 0) == b"A" * 16
+        assert dfs.read_block("/f", 1) == b"B" * 16
+
+    def test_status(self, dfs):
+        dfs.write("/f", bytes(20))
+        status = dfs.status("/f")
+        assert status.length == 20
+        assert status.block_size == 16
+        assert status.replication == 2
+
+    def test_replication_capped_at_datanode_count(self):
+        dfs = MiniDFS(datanodes=["only"], replication=3)
+        dfs.write("/f", b"x")
+        (location,) = dfs.block_locations("/f")
+        assert location.hosts == ("only",)
+
+
+class TestTextHelpers:
+    def test_text_lines_roundtrip(self, dfs):
+        lines = ["1 0.5 2 3", "2 0.5 3", "3 0.5"]
+        dfs.write_text_lines("/graph/part0", lines)
+        assert dfs.read_text_lines("/graph/part0") == lines
+
+    def test_empty_lines(self, dfs):
+        dfs.write_text_lines("/empty", [])
+        assert dfs.read_text_lines("/empty") == []
+
+    def test_append(self, dfs):
+        dfs.append("/log", "a")
+        dfs.append("/log", "b")
+        assert dfs.read("/log") == b"ab"
+
+    def test_total_bytes(self, dfs):
+        dfs.write("/d/1", bytes(10))
+        dfs.write("/d/2", bytes(5))
+        dfs.write("/other", bytes(100))
+        assert dfs.total_bytes("/d") == 15

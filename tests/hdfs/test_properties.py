@@ -1,0 +1,46 @@
+"""Property-based tests for MiniDFS."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hdfs import MiniDFS
+
+
+class TestRoundtripProperties:
+    @given(
+        data=st.binary(max_size=500),
+        block_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_write_read_identity(self, data, block_size):
+        dfs = MiniDFS(datanodes=["a", "b"], block_size=block_size)
+        dfs.write("/f", data)
+        assert dfs.read("/f") == data
+
+    @given(
+        data=st.binary(min_size=1, max_size=500),
+        block_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_cover_file_exactly(self, data, block_size):
+        dfs = MiniDFS(datanodes=["a", "b", "c"], block_size=block_size)
+        dfs.write("/f", data)
+        locations = dfs.block_locations("/f")
+        assert sum(loc.length for loc in locations) == len(data)
+        offset = 0
+        for loc in locations:
+            assert loc.offset == offset
+            assert 0 < loc.length <= block_size
+            offset += loc.length
+        rebuilt = b"".join(
+            dfs.read_block("/f", i) for i in range(len(locations))
+        )
+        assert rebuilt == data
+
+    @given(lines=st.lists(st.text(alphabet="abc 0123", max_size=20), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_text_lines_roundtrip(self, lines):
+        # splitlines() folds trailing empties; write only non-empty lines.
+        lines = [line for line in lines if line]
+        dfs = MiniDFS(datanodes=["a"])
+        dfs.write_text_lines("/t", lines)
+        assert dfs.read_text_lines("/t") == lines

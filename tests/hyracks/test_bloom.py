@@ -1,0 +1,97 @@
+"""Tests for the bloom filter and its LSM integration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.serde import encode_key
+from repro.hyracks.storage.bloom import BloomFilter
+from repro.hyracks.storage.lsm_btree import LSMBTree
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_entries=1000)
+        keys = [b"key-%05d" % i for i in range(1000)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(expected_entries=2000, false_positive_rate=0.01)
+        for i in range(2000):
+            bloom.add(b"in-%06d" % i)
+        false_positives = sum(
+            1 for i in range(10000) if b"out-%06d" % i in bloom
+        )
+        assert false_positives / 10000 < 0.05  # target 1%, generous bound
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_entries=10)
+        assert b"anything" not in bloom
+
+    def test_sizing(self):
+        small = BloomFilter(expected_entries=100)
+        large = BloomFilter(expected_entries=10000)
+        assert large.nbytes > small.nbytes
+        assert small.num_hashes >= 1
+
+    def test_invalid_fpr_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, false_positive_rate=0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, false_positive_rate=1.5)
+
+    def test_deterministic_across_instances(self):
+        a = BloomFilter(expected_entries=50)
+        b = BloomFilter(expected_entries=50)
+        for i in range(50):
+            a.add(b"k%d" % i)
+            b.add(b"k%d" % i)
+        assert a._bits == b._bits
+
+    @given(st.sets(st.binary(min_size=1, max_size=20), max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_membership_property(self, keys):
+        bloom = BloomFilter(expected_entries=max(len(keys), 1))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+
+class TestLSMBloomIntegration:
+    def test_misses_skip_components(self, buffer_cache):
+        lsm = LSMBTree(buffer_cache, memory_budget_bytes=1 << 10, max_components=20)
+        for i in range(0, 2000, 2):  # even keys only
+            lsm.insert(encode_key(i), b"v")
+        lsm.flush_memory_component()
+        assert lsm.num_disk_components >= 2
+        before = lsm.bloom_skips
+        for i in range(1, 2001, 2):  # odd keys: all misses
+            assert lsm.lookup(encode_key(i)) is None
+        skipped = lsm.bloom_skips - before
+        # Most component consultations for absent keys are avoided.
+        assert skipped > 500
+
+    def test_hits_still_found_after_flushes(self, buffer_cache):
+        lsm = LSMBTree(buffer_cache, memory_budget_bytes=1 << 10, max_components=8)
+        expected = {}
+        rng = random.Random(3)
+        for i in range(1500):
+            key = encode_key(rng.randrange(400))
+            value = b"v%06d" % i
+            lsm.insert(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert lsm.lookup(key) == value
+
+    def test_merge_rebuilds_bloom(self, buffer_cache):
+        lsm = LSMBTree(buffer_cache, memory_budget_bytes=1 << 20, max_components=1)
+        lsm.insert(encode_key(1), b"a")
+        lsm.flush_memory_component()
+        lsm.insert(encode_key(2), b"b")
+        lsm.flush_memory_component()  # triggers a merge into one component
+        assert lsm.num_disk_components == 1
+        assert lsm.lookup(encode_key(1)) == b"a"
+        assert lsm.lookup(encode_key(2)) == b"b"

@@ -1,0 +1,267 @@
+"""Correctness tests for the page-based B+-tree, including property tests."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.accounting import IOCounters
+from repro.common.errors import StorageError
+from repro.common.serde import encode_key
+from repro.hyracks.storage.btree import BTree
+from repro.hyracks.storage.buffer_cache import BufferCache
+from repro.hyracks.storage.file_manager import FileManager
+
+
+@pytest.fixture
+def btree(buffer_cache):
+    return BTree(buffer_cache)
+
+
+def key(i):
+    return encode_key(i)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self, btree):
+        assert btree.lookup(key(1)) is None
+        assert list(btree.scan()) == []
+        assert len(btree) == 0
+
+    def test_insert_lookup(self, btree):
+        btree.insert(key(1), b"one")
+        btree.insert(key(2), b"two")
+        assert btree.lookup(key(1)) == b"one"
+        assert btree.lookup(key(2)) == b"two"
+        assert btree.lookup(key(3)) is None
+        assert len(btree) == 2
+
+    def test_insert_overwrites(self, btree):
+        btree.insert(key(1), b"a")
+        btree.insert(key(1), b"b")
+        assert btree.lookup(key(1)) == b"b"
+        assert len(btree) == 1
+
+    def test_delete(self, btree):
+        btree.insert(key(1), b"x")
+        assert btree.delete(key(1))
+        assert btree.lookup(key(1)) is None
+        assert not btree.delete(key(1))
+        assert len(btree) == 0
+
+    def test_non_bytes_key_rejected(self, btree):
+        with pytest.raises(TypeError):
+            btree.insert(1, b"x")
+        with pytest.raises(TypeError):
+            btree.insert(key(1), "not bytes")
+
+
+class TestScans:
+    def test_full_scan_in_order(self, btree):
+        ids = list(range(50))
+        random.Random(7).shuffle(ids)
+        for i in ids:
+            btree.insert(key(i), b"v%d" % i)
+        scanned = list(btree.scan())
+        assert [k for k, _v in scanned] == [key(i) for i in range(50)]
+        assert scanned[10][1] == b"v10"
+
+    def test_range_scan_bounds(self, btree):
+        for i in range(20):
+            btree.insert(key(i), b"")
+        keys = [k for k, _ in btree.scan(low=key(5), high=key(12))]
+        assert keys == [key(i) for i in range(5, 12)]
+
+    def test_scan_low_only(self, btree):
+        for i in range(10):
+            btree.insert(key(i), b"")
+        keys = [k for k, _ in btree.scan(low=key(7))]
+        assert keys == [key(7), key(8), key(9)]
+
+    def test_scan_high_only(self, btree):
+        for i in range(10):
+            btree.insert(key(i), b"")
+        keys = [k for k, _ in btree.scan(high=key(3))]
+        assert keys == [key(0), key(1), key(2)]
+
+    def test_scan_survives_same_size_update(self, btree):
+        """The Pregelix compute mini-operator pattern: update during scan."""
+        for i in range(200):
+            btree.insert(key(i), b"%08d" % i)
+        seen = []
+        for k, _v in btree.scan():
+            seen.append(k)
+            btree.insert(k, b"UPDATED!")  # same serialized size
+        assert seen == [key(i) for i in range(200)]
+        assert btree.lookup(key(123)) == b"UPDATED!"
+
+    def test_scan_survives_splits_from_inserts(self, btree):
+        """Inserting fresh keys during a scan must not lose or dup keys."""
+        for i in range(0, 400, 2):
+            btree.insert(key(i), b"x" * 40)
+        seen = []
+        extra = iter(range(1, 400, 2))
+        for k, _v in btree.scan():
+            seen.append(k)
+            fresh = next(extra, None)
+            if fresh is not None:
+                btree.insert(key(fresh), b"y" * 40)
+        # Every pre-existing even key is seen exactly once, in order.
+        evens = [k for k in seen if encode_even(k)]
+        assert evens == [key(i) for i in range(0, 400, 2)]
+        assert seen == sorted(seen)
+        assert len(seen) == len(set(seen))
+
+
+def encode_even(k):
+    from repro.common.serde import decode_key
+
+    return decode_key(k) % 2 == 0
+
+
+class TestSplitsAndScale:
+    def test_many_inserts_force_splits(self, btree):
+        n = 2000
+        ids = list(range(n))
+        random.Random(3).shuffle(ids)
+        for i in ids:
+            btree.insert(key(i), b"value-%06d" % i)
+        assert btree.smo_counter > 0
+        for i in (0, 1, n // 2, n - 1):
+            assert btree.lookup(key(i)) == b"value-%06d" % i
+        assert len(list(btree.scan())) == n
+
+    def test_sequential_and_reverse_inserts(self, buffer_cache):
+        for ordering in (range(500), reversed(range(500))):
+            tree = BTree(buffer_cache)
+            for i in ordering:
+                tree.insert(key(i), b"v")
+            assert [k for k, _ in tree.scan()] == [key(i) for i in range(500)]
+
+    def test_works_with_tiny_cache(self, tiny_buffer_cache):
+        """The out-of-core claim: correctness with a 3-page cache."""
+        tree = BTree(tiny_buffer_cache)
+        n = 1500
+        for i in range(n):
+            tree.insert(key(i), b"payload-%d" % i)
+        assert tiny_buffer_cache.stats.evictions > 0
+        for i in (0, 700, n - 1):
+            assert tree.lookup(key(i)) == b"payload-%d" % i
+        assert len(list(tree.scan())) == n
+
+
+class TestBulkLoad:
+    def test_bulk_load_roundtrip(self, btree):
+        pairs = [(key(i), b"v%d" % i) for i in range(1000)]
+        btree.bulk_load(pairs)
+        assert len(btree) == 1000
+        assert btree.lookup(key(567)) == b"v567"
+        assert [k for k, _ in btree.scan()] == [k for k, _ in pairs]
+
+    def test_bulk_load_empty(self, btree):
+        btree.bulk_load([])
+        assert len(btree) == 0
+        assert list(btree.scan()) == []
+
+    def test_bulk_load_single(self, btree):
+        btree.bulk_load([(key(5), b"five")])
+        assert btree.lookup(key(5)) == b"five"
+
+    def test_bulk_load_rejects_unsorted(self, btree):
+        with pytest.raises(StorageError):
+            btree.bulk_load([(key(2), b""), (key(1), b"")])
+
+    def test_bulk_load_rejects_duplicates(self, btree):
+        with pytest.raises(StorageError):
+            btree.bulk_load([(key(1), b""), (key(1), b"")])
+
+    def test_bulk_load_rejects_non_empty(self, btree):
+        btree.insert(key(1), b"")
+        with pytest.raises(StorageError):
+            btree.bulk_load([(key(2), b"")])
+
+    def test_insert_after_bulk_load(self, btree):
+        btree.bulk_load([(key(i * 2), b"even") for i in range(500)])
+        for i in range(100):
+            btree.insert(key(i * 2 + 1), b"odd")
+        keys = [k for k, _ in btree.scan()]
+        assert keys == sorted(keys)
+        assert len(keys) == 600
+        assert btree.lookup(key(13)) == b"odd"
+
+    def test_lookup_smallest_after_bulk_load(self, btree):
+        btree.bulk_load([(key(i), b"v") for i in range(100, 2000)])
+        assert btree.lookup(key(100)) == b"v"
+        assert btree.lookup(key(5)) is None
+
+
+class TestOverflowRecords:
+    def test_large_value_roundtrip(self, btree):
+        big = bytes(range(256)) * 100  # 25.6 KB, far beyond one 4 KB page
+        btree.insert(key(1), big)
+        assert btree.lookup(key(1)) == big
+
+    def test_large_value_in_scan(self, btree):
+        big = b"E" * 10000
+        btree.insert(key(2), b"small")
+        btree.insert(key(1), big)
+        scanned = dict(btree.scan())
+        assert scanned[key(1)] == big
+        assert scanned[key(2)] == b"small"
+
+    def test_large_value_via_bulk_load(self, btree):
+        big = b"G" * 9000
+        btree.bulk_load([(key(1), b"a"), (key(2), big), (key(3), b"c")])
+        assert btree.lookup(key(2)) == big
+
+    def test_overwrite_large_value(self, btree):
+        btree.insert(key(1), b"B" * 9000)
+        btree.insert(key(1), b"tiny")
+        assert btree.lookup(key(1)) == b"tiny"
+
+
+class TestPersistence:
+    def test_spill_and_reload_through_cache(self, tmp_path):
+        """Data written through one cache instance is durable on disk."""
+        files = FileManager(str(tmp_path / "n"), IOCounters())
+        cache = BufferCache(4096 * 2, 4096, files)
+        tree = BTree(cache)
+        for i in range(300):
+            tree.insert(key(i), b"d%d" % i)
+        tree.close()
+        # All pages were flushed; evict everything and re-read.
+        assert tree.lookup(key(299)) == b"d299"
+        files.destroy()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "lookup"]),
+            st.integers(min_value=0, max_value=200),
+        ),
+        max_size=300,
+    )
+)
+def test_btree_matches_dict_model(tmp_path_factory, operations):
+    """Property: a B-tree behaves exactly like a sorted dict."""
+    root = tmp_path_factory.mktemp("prop")
+    files = FileManager(str(root), IOCounters())
+    cache = BufferCache(4096 * 4, 4096, files)
+    tree = BTree(cache)
+    model = {}
+    for op, i in operations:
+        k = key(i)
+        if op == "insert":
+            value = b"v%d" % i
+            tree.insert(k, value)
+            model[k] = value
+        elif op == "delete":
+            assert tree.delete(k) == (k in model)
+            model.pop(k, None)
+        else:
+            assert tree.lookup(k) == model.get(k)
+    assert list(tree.scan()) == sorted(model.items())
+    assert len(tree) == len(model)
+    files.destroy()

@@ -1,0 +1,93 @@
+"""Engine lifecycle-hook and result-shape tests."""
+
+import pytest
+
+from repro.hyracks.connectors import OneToOneConnector
+from repro.hyracks.engine import HyracksCluster
+from repro.hyracks.job import JobSpec, OperatorDescriptor
+from repro.hyracks.operators.func import CollectSinkOperator, GeneratorSourceOperator
+
+
+class HookedOperator(OperatorDescriptor):
+    def __init__(self):
+        super().__init__("Hooked")
+        self.events = []
+
+    def initialize(self, job_ctx):
+        self.events.append("initialize")
+
+    def run(self, ctx, partition, inputs):
+        self.events.append("run-%d" % partition)
+        return {self.OUT: inputs[0]}
+
+    def finalize(self, job_ctx):
+        self.events.append("finalize")
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    with HyracksCluster(num_nodes=3, root_dir=str(tmp_path / "h")) as c:
+        yield c
+
+
+class TestHooks:
+    def test_initialize_before_clones_finalize_after(self, cluster):
+        spec = JobSpec("hooks")
+        source = spec.add(GeneratorSourceOperator(lambda ctx, p: [p]))
+        hooked = spec.add(HookedOperator())
+        sink = spec.add(CollectSinkOperator("out"))
+        spec.connect(OneToOneConnector(), source, hooked)
+        spec.connect(OneToOneConnector(), hooked, sink)
+        cluster.execute(spec)
+        assert hooked.events[0] == "initialize"
+        assert hooked.events[-1] == "finalize"
+        assert hooked.events[1:-1] == ["run-0", "run-1", "run-2"]
+
+
+class TestJobResultShape:
+    def test_cache_stat_deltas_isolated_per_job(self, cluster):
+        from repro.common.serde import encode_key
+        from repro.hyracks.operators.index_ops import IndexBulkLoadOperator, IndexScanOperator
+        from repro.hyracks.scheduler import CountConstraint
+        from repro.hyracks.storage.btree import BTree
+
+        def build_load():
+            spec = JobSpec("load")
+            source = spec.add(
+                GeneratorSourceOperator(
+                    lambda ctx, p: [(encode_key(i), b"v" * 50) for i in range(300)]
+                )
+            )
+            source.partition_constraint = CountConstraint(1)
+            load = spec.add(
+                IndexBulkLoadOperator("hk", lambda c, p: BTree(c.buffer_cache))
+            )
+            load.partition_constraint = CountConstraint(1)
+            spec.connect(OneToOneConnector(), source, load)
+            return spec
+
+        def build_scan():
+            spec = JobSpec("scan")
+            scan = spec.add(IndexScanOperator("hk"))
+            scan.partition_constraint = CountConstraint(1)
+            sink = spec.add(CollectSinkOperator("rows"))
+            sink.partition_constraint = CountConstraint(1)
+            spec.connect(OneToOneConnector(), scan, sink)
+            return spec
+
+        cluster.execute(build_load())
+        first = cluster.execute(build_scan())
+        second = cluster.execute(build_scan())
+        # Cache deltas are per job: the second in-memory scan hits.
+        assert second.cache_misses <= first.cache_misses
+        assert len(second.gather("rows")) == 300
+
+    def test_network_and_disk_counters_non_negative(self, cluster):
+        spec = JobSpec("counters")
+        source = spec.add(GeneratorSourceOperator(lambda ctx, p: [1, 2, 3]))
+        sink = spec.add(CollectSinkOperator("x"))
+        spec.connect(OneToOneConnector(), source, sink)
+        result = cluster.execute(spec)
+        assert result.network_io.network_bytes >= 0
+        assert result.disk_io.disk_read_bytes >= 0
+        assert result.cache_misses >= 0

@@ -1,0 +1,183 @@
+"""Property-based tests over the dataflow building blocks."""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common import serde
+from repro.common.accounting import IOCounters
+from repro.common.serde import encode_key
+from repro.hyracks.connectors import (
+    MToNPartitioningConnector,
+    MToNPartitioningMergingConnector,
+    MToOneAggregatorConnector,
+)
+from repro.hyracks.engine import HyracksCluster, JobContext, TaskContext
+from repro.hyracks.operators.groupby import (
+    HashSortGroupByOperator,
+    ListAggregator,
+    SortGroupByOperator,
+)
+from repro.hyracks.operators.sort import ExternalSortOperator
+from repro.hyracks.storage.buffer_cache import BufferCache
+from repro.hyracks.storage.file_manager import FileManager
+
+PAIR = serde.PairSerde(serde.INT64, serde.INT64)
+
+key_value_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    max_size=200,
+)
+
+
+class TestConnectorProperties:
+    @given(
+        batches=st.lists(key_value_lists, min_size=1, max_size=4),
+        consumers=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partitioning_preserves_multiset(self, batches, consumers):
+        connector = MToNPartitioningConnector(key_fn=lambda t: t[0])
+        routed = connector.route(batches, consumers, None)
+        sent = Counter(t for batch in batches for t in batch)
+        received = Counter(t for batch in routed for t in batch)
+        assert sent == received
+
+    @given(
+        batches=st.lists(key_value_lists, min_size=1, max_size=4),
+        consumers=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partitioning_is_key_deterministic(self, batches, consumers):
+        connector = MToNPartitioningConnector(key_fn=lambda t: t[0])
+        routed = connector.route(batches, consumers, None)
+        location = {}
+        for partition, batch in enumerate(routed):
+            for key, _value in batch:
+                assert location.setdefault(key, partition) == partition
+
+    @given(
+        batches=st.lists(key_value_lists, min_size=1, max_size=4),
+        consumers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merging_connector_sorted_output(self, batches, consumers):
+        sorted_batches = [sorted(batch, key=lambda t: t[0]) for batch in batches]
+        connector = MToNPartitioningMergingConnector(
+            key_fn=lambda t: t[0], sort_key_fn=lambda t: t[0]
+        )
+        routed = connector.route(sorted_batches, consumers, None)
+        for batch in routed:
+            keys = [t[0] for t in batch]
+            assert keys == sorted(keys)
+        sent = Counter(t for batch in sorted_batches for t in batch)
+        received = Counter(t for batch in routed for t in batch)
+        assert sent == received
+
+    @given(batches=st.lists(key_value_lists, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_aggregator_collects_everything_at_zero(self, batches):
+        connector = MToOneAggregatorConnector()
+        routed = connector.route(batches, 3, None)
+        assert Counter(routed[0]) == Counter(
+            t for batch in batches for t in batch
+        )
+        assert routed[1] == [] and routed[2] == []
+
+
+def make_ctx(tmp_root):
+    cluster = HyracksCluster(num_nodes=1, root_dir=str(tmp_root))
+    return cluster, TaskContext(cluster.nodes["node0"], JobContext("prop"), 0, 1)
+
+
+class TestOperatorProperties:
+    @given(
+        data=key_value_lists,
+        budget=st.integers(min_value=64, max_value=4096),
+    )
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_external_sort_matches_sorted(self, tmp_path_factory, data, budget):
+        cluster, ctx = make_ctx(tmp_path_factory.mktemp("sortp"))
+        try:
+            op = ExternalSortOperator(
+                lambda t: encode_key(t[0]), PAIR, memory_limit_bytes=budget
+            )
+            result = op.run(ctx, 0, [list(data)])[op.OUT]
+            assert [t[0] for t in result] == sorted(t[0] for t in data)
+            assert Counter(result) == Counter(data)
+        finally:
+            cluster.close()
+
+    @given(
+        data=key_value_lists,
+        budget=st.integers(min_value=64, max_value=4096),
+        strategy=st.sampled_from(["sort", "hashsort"]),
+    )
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_groupby_matches_reference(self, tmp_path_factory, data, budget, strategy):
+        """Spill timing and strategy never change the grouped contents."""
+        cluster, ctx = make_ctx(tmp_path_factory.mktemp("groupp"))
+        try:
+            aggregator = ListAggregator(
+                value_fn=lambda t: t[1],
+                output_fn=lambda key, values: (key, sorted(values)),
+                value_serde=serde.INT64,
+            )
+            if strategy == "sort":
+                op = SortGroupByOperator(
+                    lambda t: encode_key(t[0]), aggregator, PAIR, memory_limit_bytes=budget
+                )
+            else:
+                op = HashSortGroupByOperator(
+                    lambda t: encode_key(t[0]), aggregator, memory_limit_bytes=budget
+                )
+            result = op.run(ctx, 0, [list(data)])[op.OUT]
+            reference = {}
+            for key, value in data:
+                reference.setdefault(encode_key(key), []).append(value)
+            expected = [
+                (key, sorted(values)) for key, values in sorted(reference.items())
+            ]
+            assert result == expected
+        finally:
+            cluster.close()
+
+
+class TestCacheProperty:
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.binary(min_size=0, max_size=40),
+            ),
+            max_size=150,
+        ),
+        capacity_pages=st.integers(min_value=1, max_value=6),
+    )
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_btree_correct_under_any_cache_size(
+        self, tmp_path_factory, operations, capacity_pages
+    ):
+        """Evictions at any cache size never lose or corrupt records."""
+        from repro.hyracks.storage.btree import BTree
+
+        root = tmp_path_factory.mktemp("cachep")
+        files = FileManager(str(root), IOCounters())
+        cache = BufferCache(capacity_pages * 4096, 4096, files)
+        tree = BTree(cache)
+        model = {}
+        for key_int, value in operations:
+            key = encode_key(key_int)
+            tree.insert(key, value)
+            model[key] = value
+        assert dict(tree.scan()) == model
+        files.destroy()

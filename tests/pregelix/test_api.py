@@ -1,0 +1,225 @@
+"""Unit tests for the user-facing Pregel API."""
+
+import pytest
+
+from repro.common import serde
+from repro.common.errors import GraphMutationConflict, ReproError
+from repro.pregelix.api import (
+    Combiner,
+    ConnectorPolicy,
+    DefaultListCombiner,
+    Edge,
+    GroupByStrategy,
+    JoinStrategy,
+    MaxCombiner,
+    MinCombiner,
+    PregelixJob,
+    SumCombiner,
+    Vertex,
+    VertexResolver,
+    VertexStorage,
+)
+
+
+class EchoVertex(Vertex):
+    def compute(self, messages):
+        self.vote_to_halt()
+
+
+class TestVertexBinding:
+    def make_bound(self):
+        vertex = EchoVertex()
+        vertex._bind(7, 1.5, [(8, 0.5), (9, 0.25)], 3, 42.0, 100, 500)
+        return vertex
+
+    def test_accessors(self):
+        vertex = self.make_bound()
+        assert vertex.vertex_id == 7
+        assert vertex.value == 1.5
+        assert vertex.superstep == 3
+        assert vertex.global_aggregate == 42.0
+        assert vertex.num_vertices == 100
+        assert vertex.num_edges == 500
+        assert vertex.edges == [Edge(8, 0.5), Edge(9, 0.25)]
+
+    def test_value_setter(self):
+        vertex = self.make_bound()
+        vertex.value = 9.9
+        assert vertex.value == 9.9
+
+    def test_send_message(self):
+        vertex = self.make_bound()
+        vertex.send_message(8, 0.1)
+        assert vertex._outbox == [(8, 0.1)]
+
+    def test_send_message_to_all_edges(self):
+        vertex = self.make_bound()
+        vertex.send_message_to_all_edges(2.0)
+        assert vertex._outbox == [(8, 2.0), (9, 2.0)]
+
+    def test_vote_to_halt(self):
+        vertex = self.make_bound()
+        assert not vertex._halted
+        vertex.vote_to_halt()
+        assert vertex._halted
+
+    def test_edge_mutators(self):
+        vertex = self.make_bound()
+        vertex.add_edge(10, 1.0)
+        assert vertex.edges[-1] == Edge(10, 1.0)
+        vertex.remove_edges_to(8)
+        assert all(e.target != 8 for e in vertex.edges)
+        vertex.set_edges([(1, 0.5)])
+        assert vertex.edges == [Edge(1, 0.5)]
+
+    def test_mutation_requests(self):
+        vertex = self.make_bound()
+        vertex.add_vertex(50, 1.0, edges=[(7, 1.0)])
+        vertex.remove_vertex(51)
+        assert vertex._mutations[0][0] == "insert"
+        assert vertex._mutations[0][3] == [Edge(7, 1.0)]
+        assert vertex._mutations[1] == ("delete", 51, None, None)
+
+    def test_aggregate_contributions(self):
+        vertex = self.make_bound()
+        vertex.aggregate(3)
+        vertex.aggregate(4, name="max-seen")
+        assert vertex._agg_contribs == [(None, 3), ("max-seen", 4)]
+
+    def test_named_global_aggregate_access(self):
+        vertex = self.make_bound()
+        vertex._global_aggregate = {"sum": 7, "max": 9}
+        assert vertex.get_global_aggregate("sum") == 7
+        assert vertex.get_global_aggregate("missing") is None
+        scalar = self.make_bound()
+        assert scalar.get_global_aggregate("anything") == 42.0
+
+    def test_rebind_resets_transient_state(self):
+        vertex = self.make_bound()
+        vertex.send_message(8, 1.0)
+        vertex.vote_to_halt()
+        vertex._bind(1, None, [], 4, None, 10, 10)
+        assert vertex._outbox == []
+        assert not vertex._halted
+
+    def test_compute_must_be_overridden(self):
+        with pytest.raises(NotImplementedError):
+            Vertex().compute(iter(()))
+
+
+class TestCombiners:
+    def roundtrip(self, combiner, payloads):
+        state = combiner.init()
+        for payload in payloads:
+            state = combiner.accumulate(state, payload)
+        return combiner.finish(state)
+
+    def test_default_list_combiner(self):
+        combiner = DefaultListCombiner()
+        bundle = self.roundtrip(combiner, [3.0, 1.0, 2.0])
+        assert bundle == [3.0, 1.0, 2.0]
+        assert list(combiner.expand(bundle)) == [3.0, 1.0, 2.0]
+
+    def test_default_list_merge(self):
+        combiner = DefaultListCombiner()
+        assert combiner.merge([1], [2, 3]) == [1, 2, 3]
+
+    def test_default_bundle_serde(self):
+        combiner = DefaultListCombiner()
+        codec = combiner.bundle_serde(serde.FLOAT64)
+        assert codec.loads(codec.dumps([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_min_combiner(self):
+        combiner = MinCombiner()
+        assert self.roundtrip(combiner, [3.0, 1.0, 2.0]) == 1.0
+        assert combiner.merge(None, 5.0) == 5.0
+        assert combiner.merge(2.0, None) == 2.0
+        assert list(combiner.expand(1.0)) == [1.0]
+
+    def test_max_combiner(self):
+        combiner = MaxCombiner()
+        assert self.roundtrip(combiner, [3.0, 9.0, 2.0]) == 9.0
+
+    def test_sum_combiner(self):
+        combiner = SumCombiner()
+        assert self.roundtrip(combiner, [1.0, 2.0, 3.5]) == 6.5
+        assert combiner.merge(1.0, 2.0) == 3.0
+
+    def test_base_combiner_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Combiner().init()
+
+
+class TestResolver:
+    def test_deletion_only(self):
+        outcome = VertexResolver().resolve(1, [("delete", 1, None, None)], True)
+        assert outcome == ("delete",)
+
+    def test_insertion_wins_over_deletion(self):
+        """The paper's partial order: deletions apply before insertions."""
+        mutations = [("delete", 1, None, None), ("insert", 1, 5.0, [])]
+        outcome = VertexResolver().resolve(1, mutations, True)
+        assert outcome == ("insert", 5.0, [])
+
+    def test_conflicting_insertions_raise(self):
+        mutations = [("insert", 1, 5.0, []), ("insert", 1, 6.0, [])]
+        with pytest.raises(GraphMutationConflict):
+            VertexResolver().resolve(1, mutations, False)
+
+    def test_custom_resolver_can_choose(self):
+        class LastWins(VertexResolver):
+            def choose_insertion(self, vid, insertions):
+                return insertions[-1]
+
+        mutations = [("insert", 1, 5.0, []), ("insert", 1, 6.0, [])]
+        assert LastWins().resolve(1, mutations, False) == ("insert", 6.0, [])
+
+    def test_empty_mutations(self):
+        assert VertexResolver().resolve(1, [], True) is None
+
+
+class TestPregelixJob:
+    def test_defaults_match_paper_default_plan(self):
+        job = PregelixJob("j", EchoVertex)
+        assert job.join_strategy == JoinStrategy.FULL_OUTER
+        assert job.groupby_strategy == GroupByStrategy.SORT
+        assert job.connector_policy == ConnectorPolicy.UNMERGED
+        assert job.vertex_storage == VertexStorage.BTREE
+
+    def test_rejects_non_vertex_class(self):
+        with pytest.raises(ReproError):
+            PregelixJob("bad", dict)
+
+    def test_plan_signature(self):
+        job = PregelixJob("j", EchoVertex)
+        assert job.plan_signature() == "full-outer-join/sort/m-to-n-partitioning/btree"
+
+    def test_sixteen_distinct_plans(self):
+        signatures = set()
+        import itertools
+
+        for js, gb, cp, vs in itertools.product(
+            JoinStrategy, GroupByStrategy, ConnectorPolicy, VertexStorage
+        ):
+            job = PregelixJob(
+                "j",
+                EchoVertex,
+                join_strategy=js,
+                groupby_strategy=gb,
+                connector_policy=cp,
+                vertex_storage=vs,
+            )
+            signatures.add(job.plan_signature())
+        assert len(signatures) == 16
+
+    def test_gs_codec_roundtrip(self):
+        from repro.pregelix.types import (
+            GlobalState,
+            decode_global_state,
+            encode_global_state,
+        )
+
+        job = PregelixJob("j", EchoVertex)
+        gs = GlobalState(halt=True, aggregate=None, superstep=5, num_vertices=10, num_edges=20)
+        codec = job.gs_codec()
+        assert decode_global_state(codec, encode_global_state(codec, gs)) == gs

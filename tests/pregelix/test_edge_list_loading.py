@@ -1,0 +1,82 @@
+"""Tests for edge-list input loading (SNAP-style files)."""
+
+import pytest
+
+from repro.algorithms import pagerank, sssp
+from repro.graphs.io import parse_edge_line
+from repro.pregelix import PregelixJob, Vertex
+
+
+class TestParseEdgeLine:
+    def test_with_weight(self):
+        assert parse_edge_line("3 7 2.5") == (3, None, [(7, 2.5)])
+
+    def test_default_weight(self):
+        assert parse_edge_line("3 7") == (3, None, [(7, 1.0)])
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_edge_line("42")
+
+
+class TestEdgeListLoading:
+    def write_edges(self, dfs, path, edges):
+        lines = ["%d %d %s" % (s, d, w) for s, d, w in edges]
+        # Split across two part files to exercise the shuffle+merge.
+        dfs.write_text_lines(path + "/part-0", lines[0::2])
+        dfs.write_text_lines(path + "/part-1", lines[1::2])
+
+    def test_edges_grouped_per_vertex(self, driver, dfs):
+        edges = [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 5.0)]
+        self.write_edges(dfs, "/in/edges", edges)
+        outcome = driver.run(
+            sssp.build_job(source_id=0),
+            "/in/edges",
+            output_path="/out/d",
+            parse_line=parse_edge_line,
+        )
+        values = {
+            int(l.split()[0]): float(l.split()[1])
+            for l in driver.read_output("/out/d")
+        }
+        # Vertex 0 has three out-edges after merging; 3 is reached via
+        # 0->1->2->3 (cost 3) rather than the direct 5.0 edge.
+        assert values[3] == pytest.approx(3.0)
+        assert values[2] == pytest.approx(2.0)
+
+    def test_vertex_count_after_merge(self, driver, dfs):
+        edges = [(0, 1, 1.0), (1, 0, 1.0), (0, 1, 1.0)]  # parallel edge kept
+        self.write_edges(dfs, "/in/multi", edges)
+        outcome = driver.run(
+            sssp.build_job(source_id=0), "/in/multi", parse_line=parse_edge_line
+        )
+        # Two loaded vertices (0 and 1): both appear as sources.
+        assert outcome.gs.num_vertices == 2
+        assert outcome.gs.num_edges == 3
+
+    def test_sink_only_vertices_autocreated(self, driver, dfs):
+        """A destination that never appears as a source is created on
+        first message (the left-outer case of the logical join)."""
+        self.write_edges(dfs, "/in/sink", [(0, 9, 1.0)])
+        outcome = driver.run(
+            sssp.build_job(source_id=0),
+            "/in/sink",
+            output_path="/out/sink",
+            parse_line=parse_edge_line,
+        )
+        values = {
+            int(l.split()[0]): float(l.split()[1])
+            for l in driver.read_output("/out/sink")
+        }
+        assert values[9] == pytest.approx(1.0)
+        assert outcome.gs.num_vertices == 2  # 1 loaded + 1 auto-created
+
+    def test_adjacency_inputs_unaffected(self, driver, dfs):
+        """Unique-vid adjacency inputs pass through the merge unchanged."""
+        from repro.graphs.generators import chain_graph
+        from repro.graphs.io import write_graph_to_dfs
+
+        write_graph_to_dfs(dfs, "/in/adj", chain_graph(8), num_files=2)
+        outcome = driver.run(pagerank.build_job(iterations=3), "/in/adj")
+        assert outcome.gs.num_vertices == 8
+        assert outcome.gs.num_edges == 7

@@ -1,0 +1,84 @@
+"""The logical plan (Figures 3-5) is realized by all 16 physical plans."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms import pagerank
+from repro.pregelix import ConnectorPolicy, GroupByStrategy, JoinStrategy, VertexStorage
+from repro.pregelix.physical import PartitionMap, PlanGenerator
+from repro.pregelix.plan import (
+    FLOWS,
+    RELATIONS,
+    UDFS,
+    expected_operator_types,
+    verify_realization,
+)
+from repro.pregelix.types import GlobalState
+
+
+class TestLogicalModel:
+    def test_table1_schema(self):
+        assert RELATIONS["Vertex"] == ("vid", "halt", "value", "edges")
+        assert RELATIONS["Msg"] == ("vid", "payload")
+        assert RELATIONS["GS"] == ("halt", "aggregate", "superstep")
+
+    def test_table2_udfs(self):
+        assert set(UDFS) == {"compute", "combine", "aggregate", "resolve"}
+
+    def test_all_twelve_flows_described(self):
+        assert set(FLOWS) == {"D%d" % i for i in range(1, 13)}
+        assert all(flow.figure in ("3", "4", "5", "8") for flow in FLOWS.values())
+
+
+@pytest.mark.parametrize(
+    "join_strategy,groupby_strategy,connector_policy,storage",
+    list(
+        itertools.product(
+            JoinStrategy, GroupByStrategy, ConnectorPolicy, VertexStorage
+        )
+    ),
+)
+def test_every_physical_plan_realizes_the_logical_plan(
+    dfs, join_strategy, groupby_strategy, connector_policy, storage
+):
+    job = pagerank.build_job(
+        join_strategy=join_strategy,
+        groupby_strategy=groupby_strategy,
+        connector_policy=connector_policy,
+        vertex_storage=storage,
+    )
+    generator = PlanGenerator(
+        job, dfs, "logical-check", PartitionMap(["node0", "node1"])
+    )
+    spec = generator.superstep_plan(GlobalState())
+    realization = verify_realization(spec, job)
+    # The message-delivery flow must realize the *selected* join.
+    if join_strategy == JoinStrategy.FULL_OUTER:
+        assert "IndexFullOuterJoinOperator" in realization["D1"]
+        assert "D12" not in realization
+    else:
+        assert "IndexLeftOuterJoinOperator" in realization["D1"]
+        assert "D12" in realization
+
+
+def test_missing_flow_detected(dfs):
+    """A plan without the GS machinery must fail verification."""
+    from repro.hyracks.job import JobSpec
+    from repro.hyracks.operators.func import MapOperator
+
+    job = pagerank.build_job()
+    broken = JobSpec("broken")
+    broken.add(MapOperator(lambda t: t))
+    with pytest.raises(AssertionError):
+        verify_realization(broken, job)
+
+
+def test_expected_types_follow_hints():
+    merged = pagerank.build_job(
+        groupby_strategy=GroupByStrategy.HASHSORT,
+        connector_policy=ConnectorPolicy.MERGED,
+    )
+    assert expected_operator_types(merged)["D7"][0] == "PreclusteredGroupByOperator"
+    unmerged = pagerank.build_job(groupby_strategy=GroupByStrategy.HASHSORT)
+    assert expected_operator_types(unmerged)["D7"][0] == "HashSortGroupByOperator"

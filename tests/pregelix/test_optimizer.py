@@ -1,0 +1,155 @@
+"""Tests for the cost-based physical plan optimizer."""
+
+import pytest
+
+from repro.algorithms import pagerank, sssp
+from repro.graphs.generators import btc_graph, chain_graph, webmap_graph
+from repro.graphs.io import write_graph_to_dfs
+from repro.pregelix import ConnectorPolicy, GroupByStrategy, JoinStrategy
+from repro.pregelix.optimizer import CostBasedOptimizer, PlanDecision
+from repro.pregelix.stats import SuperstepStats
+
+
+def stats_for(processed, combined, messages=0, num_vertices=1000, misses=0):
+    return SuperstepStats(
+        superstep=2,
+        elapsed=0.1,
+        network_bytes=0,
+        network_messages=0,
+        disk_read_bytes=0,
+        disk_write_bytes=0,
+        vertices_processed=processed,
+        messages_sent=messages,
+        combined_messages=combined,
+        cache_misses=misses,
+    )
+
+
+class TestDecisionLogic:
+    def test_initial_plan_is_full_outer(self):
+        optimizer = CostBasedOptimizer(num_partitions=8)
+        decision = optimizer.initial_plan(1000, 6000)
+        assert decision.join_strategy == JoinStrategy.FULL_OUTER
+
+    def test_initial_groupby_follows_fanin(self):
+        dense = CostBasedOptimizer(8).initial_plan(1000, 9000)
+        sparse = CostBasedOptimizer(8).initial_plan(1000, 2000)
+        assert dense.groupby_strategy == GroupByStrategy.HASHSORT
+        assert sparse.groupby_strategy == GroupByStrategy.SORT
+
+    def test_connector_choice_by_cluster_size(self):
+        small = CostBasedOptimizer(4).initial_plan(10, 10)
+        large = CostBasedOptimizer(32).initial_plan(10, 10)
+        assert small.connector_policy == ConnectorPolicy.MERGED
+        assert large.connector_policy == ConnectorPolicy.UNMERGED
+
+    def test_sparse_frontier_switches_to_left_outer(self):
+        optimizer = CostBasedOptimizer(8, live_decay=0.0)  # no smoothing
+        optimizer.initial_plan(1000, 6000)
+        decision = optimizer.next_plan(stats_for(processed=20, combined=20), 1000)
+        assert decision.join_strategy == JoinStrategy.LEFT_OUTER
+        assert decision.probe_cost < decision.scan_cost
+
+    def test_dense_frontier_stays_full_outer(self):
+        optimizer = CostBasedOptimizer(8, live_decay=0.0)
+        optimizer.initial_plan(1000, 6000)
+        decision = optimizer.next_plan(stats_for(processed=900, combined=900), 1000)
+        assert decision.join_strategy == JoinStrategy.FULL_OUTER
+
+    def test_cache_misses_tip_the_balance(self):
+        """Moderately live + out-of-core -> the probe side wins on disk."""
+        optimizer = CostBasedOptimizer(8, live_decay=0.0)
+        optimizer.initial_plan(1000, 6000)
+        in_memory = optimizer.next_plan(
+            stats_for(processed=300, combined=300, misses=0), 1000
+        )
+        assert in_memory.join_strategy == JoinStrategy.FULL_OUTER
+        optimizer2 = CostBasedOptimizer(8, live_decay=0.0)
+        optimizer2.initial_plan(1000, 6000)
+        spilling = optimizer2.next_plan(
+            stats_for(processed=300, combined=300, misses=100_000), 1000
+        )
+        assert spilling.join_strategy == JoinStrategy.LEFT_OUTER
+
+    def test_smoothing_prevents_plan_flapping(self):
+        optimizer = CostBasedOptimizer(8, live_decay=0.8)
+        optimizer.initial_plan(1000, 6000)
+        # One quiet superstep right after a dense one shouldn't flip.
+        decision = optimizer.next_plan(stats_for(processed=5, combined=5), 1000)
+        assert decision.join_strategy == JoinStrategy.FULL_OUTER
+
+    def test_combiner_reduction_selects_hashsort(self):
+        optimizer = CostBasedOptimizer(8, live_decay=0.0)
+        optimizer.initial_plan(1000, 6000)
+        heavy = optimizer.next_plan(
+            stats_for(processed=900, combined=100, messages=1000), 1000
+        )
+        assert heavy.groupby_strategy == GroupByStrategy.HASHSORT
+        optimizer2 = CostBasedOptimizer(8, live_decay=0.0)
+        optimizer2.initial_plan(1000, 6000)
+        light = optimizer2.next_plan(
+            stats_for(processed=900, combined=900, messages=1000), 1000
+        )
+        assert light.groupby_strategy == GroupByStrategy.SORT
+
+    def test_trace_records_switches(self):
+        optimizer = CostBasedOptimizer(8, live_decay=0.0)
+        optimizer.initial_plan(1000, 6000)
+        optimizer.next_plan(stats_for(processed=900, combined=900), 1000)
+        optimizer.next_plan(stats_for(processed=10, combined=10), 1000)
+        assert optimizer.trace.switches() == [3]
+
+    def test_apply_installs_choices(self):
+        job = sssp.build_job(auto_optimize=True)
+        optimizer = CostBasedOptimizer(8)
+        decision = PlanDecision(
+            join_strategy=JoinStrategy.LEFT_OUTER,
+            groupby_strategy=GroupByStrategy.HASHSORT,
+            connector_policy=ConnectorPolicy.UNMERGED,
+        )
+        optimizer.apply(job, decision)
+        assert job.join_strategy == JoinStrategy.LEFT_OUTER
+        assert job.groupby_strategy == GroupByStrategy.HASHSORT
+
+
+class TestEndToEnd:
+    def test_optimized_sssp_switches_on_sparse_graph(self, driver, dfs):
+        """A chain has a 1-vertex frontier: the optimizer must go LOJ."""
+        write_graph_to_dfs(dfs, "/in/chain", chain_graph(60), num_files=3)
+        job = sssp.build_job(
+            source_id=0, join_strategy=JoinStrategy.FULL_OUTER, auto_optimize=True
+        )
+        outcome = driver.run(job, "/in/chain", output_path="/out/opt")
+        trace = outcome.stats.optimizer_trace
+        assert trace is not None
+        joins = [d.join_strategy for d in trace.decisions]
+        assert joins[0] == JoinStrategy.FULL_OUTER  # superstep 1
+        assert JoinStrategy.LEFT_OUTER in joins  # switched once sparse
+        values = {
+            int(l.split()[0]): float(l.split()[1])
+            for l in driver.read_output("/out/opt")
+        }
+        assert values[59] == pytest.approx(59.0)
+
+    def test_optimized_matches_static_results(self, driver, dfs):
+        vertices = list(btc_graph(300, seed=3))
+        write_graph_to_dfs(dfs, "/in/g", iter(vertices), num_files=3)
+        driver.run(sssp.build_job(source_id=0), "/in/g", output_path="/out/static")
+        job = sssp.build_job(source_id=0, auto_optimize=True)
+        driver.run(job, "/in/g", output_path="/out/auto")
+        assert sorted(driver.read_output("/out/auto")) == sorted(
+            driver.read_output("/out/static")
+        )
+
+    def test_pagerank_stays_full_outer(self, driver, dfs):
+        write_graph_to_dfs(dfs, "/in/web", webmap_graph(300, seed=2), num_files=3)
+        job = pagerank.build_job(iterations=5, auto_optimize=True)
+        outcome = driver.run(job, "/in/web")
+        joins = {d.join_strategy for d in outcome.stats.optimizer_trace.decisions}
+        assert joins == {JoinStrategy.FULL_OUTER}
+
+    def test_optimizer_keeps_vid_index_available(self, driver, dfs):
+        """needs_vid must hold under auto_optimize even when starting FOJ."""
+        job = pagerank.build_job(iterations=3, auto_optimize=True)
+        assert job.needs_vid
+        assert not pagerank.build_job(iterations=3).needs_vid

@@ -1,0 +1,75 @@
+"""Tests for the statistics report and failure-kind handling."""
+
+import pytest
+
+from repro.algorithms import pagerank, sssp
+from repro.common.errors import WorkerFailure
+from repro.graphs.generators import btc_graph, chain_graph
+from repro.graphs.io import write_graph_to_dfs
+from repro.pregelix.failure import FailureManager
+
+
+class TestStatsReport:
+    def test_report_prints_superstep_rows(self, driver, dfs):
+        write_graph_to_dfs(dfs, "/in/g", chain_graph(10), num_files=2)
+        outcome = driver.run(sssp.build_job(source_id=0), "/in/g")
+        lines = []
+        outcome.stats.report(out=lines.append)
+        assert "superstep" in lines[0]
+        assert len(lines) >= outcome.supersteps + 1
+        assert any("live machines" in line for line in lines)
+
+    def test_report_includes_optimizer_trace(self, driver, dfs):
+        write_graph_to_dfs(dfs, "/in/o", chain_graph(20), num_files=2)
+        job = sssp.build_job(source_id=0, auto_optimize=True)
+        outcome = driver.run(job, "/in/o")
+        lines = []
+        outcome.stats.report(out=lines.append)
+        assert any(line.startswith("plan ss") for line in lines)
+
+
+class TestFailureKinds:
+    def test_io_failure_is_recoverable(self, cluster, dfs, driver):
+        write_graph_to_dfs(dfs, "/in/g", btc_graph(120, seed=5), num_files=3)
+        cluster.nodes["node1"].inject_failure(after_tasks=40, kind="io")
+        job = pagerank.build_job(iterations=6, checkpoint_interval=2)
+        outcome = driver.run(job, "/in/g")
+        assert outcome.recoveries >= 1
+        assert "node1" not in cluster.alive_node_ids()
+
+    def test_unknown_kind_is_forwarded(self, cluster, dfs, driver):
+        write_graph_to_dfs(dfs, "/in/h", btc_graph(120, seed=5), num_files=3)
+        cluster.nodes["node0"].inject_failure(after_tasks=40, kind="cosmic-rays")
+        from repro.common.errors import JobFailure
+
+        job = pagerank.build_job(iterations=6, checkpoint_interval=2)
+        with pytest.raises(JobFailure):
+            driver.run(job, "/in/h")
+
+    def test_failure_manager_classification(self, cluster):
+        from repro.common.errors import JobFailure
+
+        manager = FailureManager(cluster)
+        for kind, recoverable in (
+            ("interruption", True),
+            ("io", True),
+            ("application", False),
+        ):
+            failure = JobFailure("boom", cause=WorkerFailure("node0", kind=kind))
+            assert manager.is_recoverable(failure) is recoverable
+
+    def test_non_worker_cause_not_recoverable(self, cluster):
+        from repro.common.errors import JobFailure
+
+        manager = FailureManager(cluster)
+        assert not manager.is_recoverable(JobFailure("boom", cause=ValueError()))
+        assert not manager.is_recoverable(ValueError())
+
+    def test_blacklist_excluded_from_healthy(self, cluster):
+        from repro.common.errors import JobFailure
+
+        manager = FailureManager(cluster)
+        failure = JobFailure("x", cause=WorkerFailure("node2"))
+        manager.record(failure)
+        assert "node2" in manager.blacklist
+        assert "node2" not in manager.healthy_nodes()

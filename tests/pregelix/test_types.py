@@ -1,0 +1,77 @@
+"""Serde roundtrips for the Pregel relational schema (Table 1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.common import serde
+from repro.pregelix.types import (
+    GlobalState,
+    VertexRecord,
+    decode_global_state,
+    decode_vertex,
+    encode_global_state,
+    encode_vertex,
+    global_state_serde,
+    vertex_value_serde,
+)
+
+CODEC = vertex_value_serde(serde.FLOAT64, serde.FLOAT64)
+
+
+class TestVertexRecord:
+    def test_roundtrip(self):
+        record = VertexRecord(vid=3, halt=True, value=2.5, edges=[(4, 1.0), (5, 0.5)])
+        data = encode_vertex(CODEC, record)
+        clone = decode_vertex(CODEC, 3, data)
+        assert clone == record
+
+    def test_null_value(self):
+        record = VertexRecord(vid=1)
+        clone = decode_vertex(CODEC, 1, encode_vertex(CODEC, record))
+        assert clone.value is None
+        assert clone.edges == []
+        assert not clone.halt
+
+    def test_copy_is_deep_for_edges(self):
+        record = VertexRecord(vid=1, edges=[(2, 1.0)])
+        clone = record.copy()
+        clone.edges.append((3, 1.0))
+        assert len(record.edges) == 1
+
+    @given(
+        vid=st.integers(min_value=0, max_value=1 << 40),
+        halt=st.booleans(),
+        value=st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=True)),
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 40),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            max_size=20,
+        ),
+    )
+    def test_roundtrip_property(self, vid, halt, value, edges):
+        record = VertexRecord(vid=vid, halt=halt, value=value, edges=edges)
+        assert decode_vertex(CODEC, vid, encode_vertex(CODEC, record)) == record
+
+
+class TestGlobalState:
+    def test_roundtrip_with_aggregate(self):
+        codec = global_state_serde(serde.FLOAT64)
+        gs = GlobalState(halt=False, aggregate=1.25, superstep=7, num_vertices=5, num_edges=9)
+        assert decode_global_state(codec, encode_global_state(codec, gs)) == gs
+
+    def test_roundtrip_null_aggregate(self):
+        codec = global_state_serde(serde.NULL)
+        gs = GlobalState()
+        assert decode_global_state(codec, encode_global_state(codec, gs)) == gs
+
+    def test_advanced_increments_superstep(self):
+        gs = GlobalState(superstep=3, num_vertices=10, num_edges=20)
+        advanced = gs.advanced(halt=True, aggregate=0.5, num_vertices=11, num_edges=19)
+        assert advanced.superstep == 4
+        assert advanced.halt
+        assert advanced.aggregate == 0.5
+        assert advanced.num_vertices == 11
+        assert advanced.num_edges == 19
+        # The original is untouched (GS tuples are per-superstep rows).
+        assert gs.superstep == 3

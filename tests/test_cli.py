@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, lines
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope", "--input", "x"])
+
+    def test_figures_choices(self):
+        args = build_parser().parse_args(["figures", "table3", "figure12a"])
+        assert args.which == ["table3", "figure12a"]
+
+
+class TestGenerate:
+    def test_generate_chain(self, tmp_path):
+        out_dir = str(tmp_path / "g")
+        code, lines = run_cli(
+            ["generate", "--family", "chain", "--vertices", "12", "--out", out_dir,
+             "--files", "3"]
+        )
+        assert code == 0
+        files = sorted(os.listdir(out_dir))
+        assert files == ["part-00000", "part-00001", "part-00002"]
+        total = sum(
+            len(open(os.path.join(out_dir, f)).read().splitlines()) for f in files
+        )
+        assert total == 12
+
+    def test_generate_btc_degree(self, tmp_path):
+        out_dir = str(tmp_path / "btc")
+        code, _ = run_cli(
+            ["generate", "--family", "btc", "--vertices", "200", "--out", out_dir]
+        )
+        assert code == 0
+
+
+class TestRun:
+    @pytest.fixture
+    def chain_dir(self, tmp_path):
+        out_dir = str(tmp_path / "in")
+        run_cli(["generate", "--family", "chain", "--vertices", "15", "--out", out_dir])
+        return out_dir
+
+    def test_run_sssp_end_to_end(self, chain_dir, tmp_path):
+        out_dir = str(tmp_path / "out")
+        code, lines = run_cli(
+            ["run", "sssp", "--input", chain_dir, "--output", out_dir, "--nodes", "2"]
+        )
+        assert code == 0
+        assert any("supersteps" in line for line in lines)
+        values = {}
+        for name in os.listdir(out_dir):
+            for line in open(os.path.join(out_dir, name)):
+                fields = line.split()
+                values[int(fields[0])] = float(fields[1])
+        assert values[14] == pytest.approx(14.0)
+
+    def test_run_with_plan_overrides(self, chain_dir):
+        code, lines = run_cli(
+            ["run", "sssp", "--input", chain_dir, "--nodes", "2",
+             "--join", "foj", "--groupby", "sort", "--connector", "merged",
+             "--storage", "lsm"]
+        )
+        assert code == 0
+        assert any("full-outer-join/sort/m-to-n-partitioning-merging/lsm-btree" in line
+                   for line in lines)
+
+    def test_run_with_optimizer(self, chain_dir):
+        code, lines = run_cli(
+            ["run", "sssp", "--input", chain_dir, "--nodes", "2", "--optimize"]
+        )
+        assert code == 0
+
+    def test_run_pagerank_reports_counts(self, chain_dir):
+        code, lines = run_cli(
+            ["run", "pagerank", "--input", chain_dir, "--nodes", "2",
+             "--iterations", "3"]
+        )
+        assert code == 0
+        assert any("vertices: 15" in line for line in lines)
+
+    def test_missing_input_directory(self, tmp_path):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        code, lines = run_cli(["run", "sssp", "--input", empty])
+        assert code == 2
+        assert any("no input files" in line for line in lines)
+
+
+class TestLoc:
+    def test_loc_prints_table(self):
+        code, lines = run_cli(["loc"])
+        assert code == 0
+        assert any("Pregel-specific core" in line for line in lines)
+
+
+class TestEdgeListInput:
+    def test_run_with_edge_list(self, tmp_path):
+        in_dir = tmp_path / "edges"
+        in_dir.mkdir()
+        (in_dir / "part-0").write_text("0 1\n1 2\n2 3\n")
+        out_dir = str(tmp_path / "out")
+        code, lines = run_cli(
+            ["run", "sssp", "--input", str(in_dir), "--output", out_dir,
+             "--nodes", "2", "--input-format", "edges"]
+        )
+        assert code == 0
+        values = {}
+        for name in os.listdir(out_dir):
+            for line in open(os.path.join(out_dir, name)):
+                fields = line.split()
+                values[int(fields[0])] = float(fields[1])
+        assert values[3] == 3.0
+
+
+class TestExplain:
+    def test_explain_prints_plans(self):
+        code, lines = run_cli(["explain", "pagerank"])
+        assert code == 0
+        text = "\n".join(lines)
+        assert "plan signature" in text
+        assert "-- superstep plan --" in text
+        assert "IndexFullOuterJoin" in text
+        assert "MsgWrite" in text
+
+    def test_explain_loj_shows_vid_machinery(self):
+        code, lines = run_cli(["explain", "sssp", "--join", "loj"])
+        assert code == 0
+        text = "\n".join(lines)
+        assert "MergeChoose" in text
+        assert "IndexLeftOuterJoin" in text
+        assert "VidScan" in text
+
+    def test_explain_merged_connector(self):
+        code, lines = run_cli(
+            ["explain", "pagerank", "--connector", "merged", "--groupby", "sort"]
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "MToNPartitioningMergingConnector" in text
+        assert "ReceiverPreclusteredGroupBy" in text

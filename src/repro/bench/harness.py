@@ -25,6 +25,7 @@ from repro.graphs.datasets import DATASETS, materialize
 from repro.hdfs import MiniDFS
 from repro.hyracks.engine import HyracksCluster
 from repro.pregelix import PregelixDriver
+from repro.pregelix.stats import pregelix_sim_cost  # noqa: F401  (re-export)
 
 GB = 1 << 30
 #: The paper's testbed: 32 workers, 8 GB RAM each.
@@ -129,8 +130,14 @@ def run_pregelix(
     paper_machines=PAPER_MACHINES,
     num_nodes=None,
     system_label="pregelix",
+    telemetry=None,
 ):
-    """Run one Pregelix measurement on a fresh cluster."""
+    """Run one Pregelix measurement on a fresh cluster.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is handed to the
+    cluster so a sweep can be traced/exported; sweeps that pass one
+    session across calls get all their runs on a single timeline.
+    """
     spec, path, nbytes = env.dataset(family, dataset_name)
     num_nodes = num_nodes or env.num_nodes
     node_memory = env.node_memory(family, paper_machines, num_nodes)
@@ -147,6 +154,7 @@ def run_pregelix(
         num_nodes=num_nodes,
         node_memory_bytes=node_memory,
         buffer_cache_bytes=cache_bytes,
+        telemetry=telemetry,
     )
     try:
         driver = PregelixDriver(cluster, env.dfs)
@@ -237,47 +245,6 @@ def run_baseline(
             status="fail",
             fail_reason=str(failure),
         )
-
-
-def pregelix_sim_cost(record, job, workers):
-    """(cpu, disk, net) simulated seconds for one Pregelix superstep.
-
-    Derived from the superstep's actual operation counts: scanned join
-    tuples (full-outer plans) or index probes (left-outer plans), compute
-    calls with their in-place index updates, messages through the
-    two-stage group-by and Msg files, plus the job's real spill and
-    shuffle byte counters.
-    """
-    from repro.pregelix.api import ConnectorPolicy
-
-    # Probe counts are nonzero exactly when the superstep ran the
-    # left-outer-join plan (plan-independent, so per-superstep plan
-    # switching under the optimizer is charged correctly).
-    if record.index_probes:
-        access_cpu = record.index_probes * costmodel.PREGELIX_PROBE
-    else:
-        access_cpu = record.join_tuples * costmodel.PREGELIX_SCAN_TUPLE
-    message_cost = costmodel.PREGELIX_MESSAGE
-    if job.connector_policy == ConnectorPolicy.MERGED:
-        # Receiver-side merging skips the re-grouping work but must
-        # coordinate one sorted stream per sender; the wait grows with
-        # the cluster (the tech-report tradeoff the paper cites in 7.5).
-        message_cost = costmodel.PREGELIX_MESSAGE * (0.75 + 0.04 * workers)
-    cpu = (
-        access_cpu
-        + record.vertices_processed
-        * (costmodel.PREGELIX_COMPUTE + costmodel.PREGELIX_UPDATE)
-        + record.messages_sent * message_cost
-    ) / workers
-    paged_bytes = (record.cache_misses + record.cache_writebacks) * 4096
-    sequential_bytes = max(
-        0, record.disk_read_bytes + record.disk_write_bytes - paged_bytes
-    )
-    disk = costmodel.disk_seconds(sequential_bytes, workers) + (
-        costmodel.paged_disk_seconds(paged_bytes, workers)
-    )
-    net = costmodel.network_seconds(record.network_bytes, workers)
-    return (cpu, disk, net)
 
 
 def pregelix_sim_seconds(env, outcome, job, workers, input_path, scale):

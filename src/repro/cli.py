@@ -56,6 +56,31 @@ FIGURES = [
 ]
 
 
+def _add_run_arguments(parser):
+    """The shared run/trace algorithm-execution arguments."""
+    parser.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    parser.add_argument("--input", required=True, help="directory of part files")
+    parser.add_argument("--input-format", choices=["adjacency", "edges"],
+                        default="adjacency",
+                        help="adjacency lines (vid value dst:w ...) or "
+                             "edge-list lines (src dst [w])")
+    parser.add_argument("--output", help="directory for result part files")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--source-id", type=int, default=0)
+    parser.add_argument("--join", choices=["foj", "loj"], default=None,
+                        help="override the job's join strategy hint")
+    parser.add_argument("--groupby", choices=["sort", "hashsort"], default=None)
+    parser.add_argument("--connector", choices=["merged", "unmerged"], default=None)
+    parser.add_argument("--storage", choices=["btree", "lsm"], default=None)
+    parser.add_argument("--optimize", action="store_true",
+                        help="enable the cost-based plan optimizer")
+    parser.add_argument("--checkpoint-interval", type=int, default=None)
+    parser.add_argument("--stats", action="store_true",
+                        help="print the per-superstep statistics table "
+                             "and the telemetry summary")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Pregelix reproduction command line"
@@ -72,26 +97,22 @@ def build_parser():
     generate.add_argument("--out", required=True, help="output directory")
 
     run = sub.add_parser("run", help="run a built-in algorithm")
-    run.add_argument("algorithm", choices=sorted(ALGORITHMS))
-    run.add_argument("--input", required=True, help="directory of part files")
-    run.add_argument("--input-format", choices=["adjacency", "edges"],
-                     default="adjacency",
-                     help="adjacency lines (vid value dst:w ...) or "
-                          "edge-list lines (src dst [w])")
-    run.add_argument("--output", help="directory for result part files")
-    run.add_argument("--nodes", type=int, default=4)
-    run.add_argument("--iterations", type=int, default=10)
-    run.add_argument("--source-id", type=int, default=0)
-    run.add_argument("--join", choices=["foj", "loj"], default=None,
-                     help="override the job's join strategy hint")
-    run.add_argument("--groupby", choices=["sort", "hashsort"], default=None)
-    run.add_argument("--connector", choices=["merged", "unmerged"], default=None)
-    run.add_argument("--storage", choices=["btree", "lsm"], default=None)
-    run.add_argument("--optimize", action="store_true",
-                     help="enable the cost-based plan optimizer")
-    run.add_argument("--checkpoint-interval", type=int, default=None)
-    run.add_argument("--stats", action="store_true",
-                     help="print the per-superstep statistics table")
+    _add_run_arguments(run)
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace_event JSON of the run "
+                          "(open in Perfetto or about://tracing)")
+    run.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                     help="dump every span/event/metric as JSON lines")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an algorithm with tracing and write a Chrome trace",
+    )
+    _add_run_arguments(trace)
+    trace.add_argument("--out", required=True, metavar="PATH",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                       help="also dump spans/events/metrics as JSON lines")
 
     figures = sub.add_parser("figures", help="regenerate paper experiments")
     figures.add_argument("which", nargs="+", choices=FIGURES + ["all"])
@@ -157,7 +178,10 @@ def cmd_run(args, out=print):
     from repro.hdfs import MiniDFS
     from repro.hyracks.engine import HyracksCluster
     from repro.pregelix import PregelixDriver
+    from repro.telemetry import Telemetry
 
+    trace_path = getattr(args, "trace", None)
+    trace_jsonl = getattr(args, "trace_jsonl", None)
     module_name, kwarg_names = ALGORITHMS[args.algorithm]
     module = importlib.import_module(module_name)
     kwargs = {}
@@ -188,7 +212,8 @@ def cmd_run(args, out=print):
     if args.checkpoint_interval:
         job.checkpoint_interval = args.checkpoint_interval
 
-    cluster = HyracksCluster(num_nodes=args.nodes)
+    telemetry = Telemetry()
+    cluster = HyracksCluster(num_nodes=args.nodes, telemetry=telemetry)
     try:
         dfs = MiniDFS(datanodes=cluster.node_ids())
         part_files = sorted(
@@ -230,6 +255,9 @@ def cmd_run(args, out=print):
             out("global aggregate: %r" % (outcome.gs.aggregate,))
         if args.stats:
             outcome.stats.report(out=out)
+            from repro.telemetry import print_summary
+
+            print_summary(telemetry, out=out)
         out(
             "vertices: %d, edges: %d, messages sent: %d"
             % (
@@ -245,6 +273,15 @@ def cmd_run(args, out=print):
                 with open(local, "w") as handle:
                     handle.write(dfs.read_text(path))
             out("results written to %s" % args.output)
+        if trace_path:
+            telemetry.write_chrome_trace(trace_path)
+            out(
+                "trace written to %s (open in Perfetto or about://tracing)"
+                % trace_path
+            )
+        if trace_jsonl:
+            count = telemetry.write_jsonl(trace_jsonl)
+            out("%d telemetry records written to %s" % (count, trace_jsonl))
         return 0
     finally:
         cluster.close()
@@ -341,6 +378,9 @@ def main(argv=None, out=print):
     if args.command == "generate":
         return cmd_generate(args, out=out)
     if args.command == "run":
+        return cmd_run(args, out=out)
+    if args.command == "trace":
+        args.trace = args.out
         return cmd_run(args, out=out)
     if args.command == "figures":
         return cmd_figures(args, out=out)

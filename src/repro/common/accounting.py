@@ -6,6 +6,14 @@ budget. Engines differ only in what they charge against the budget:
 process-centric baselines charge vertex and message state (and die when
 it does not fit), while the Pregelix storage layer charges only its buffer
 cache and group-by buffers (and spills past them).
+
+All three classes are thread-safe: job pipelining
+(:mod:`repro.pregelix.pipelining`) can drive concurrent updates from
+overlapping jobs. :class:`Counters` and :class:`IOCounters` can also be
+*bound* to a :class:`~repro.telemetry.registry.MetricsRegistry`, after
+which every update is mirrored into the registry — they survive as thin
+adapters over the telemetry subsystem so existing call sites keep
+working unchanged.
 """
 
 import threading
@@ -40,7 +48,7 @@ class MemoryBudget:
 
     @property
     def peak(self):
-        """High-water mark of allocated bytes over the budget's lifetime."""
+        """High-water mark of allocated bytes since the last reset."""
         return self._peak
 
     @property
@@ -78,8 +86,15 @@ class MemoryBudget:
             self._used -= nbytes
 
     def reset(self):
+        """Forget all charges *and* the high-water mark.
+
+        A worker budget is reused across jobs (``NodeContext`` keeps one
+        per node); resetting only ``_used`` would leak one job's peak
+        into the next job's report.
+        """
         with self._lock:
             self._used = 0
+            self._peak = 0
 
     def __repr__(self):
         return "MemoryBudget(%s: %d/%d bytes, peak %d)" % (
@@ -91,71 +106,134 @@ class MemoryBudget:
 
 
 class IOCounters:
-    """Disk and network byte/operation counters for one component."""
+    """Disk and network byte/operation counters for one component.
 
-    def __init__(self):
+    Thread-safe; optionally mirrors into a telemetry registry via
+    :meth:`bind` (labels distinguish e.g. nodes).
+    """
+
+    _FIELDS = (
+        "disk_reads",
+        "disk_writes",
+        "disk_read_bytes",
+        "disk_write_bytes",
+        "network_bytes",
+        "network_messages",
+    )
+
+    def __init__(self, registry=None, prefix="io", **labels):
         self.disk_reads = 0
         self.disk_writes = 0
         self.disk_read_bytes = 0
         self.disk_write_bytes = 0
         self.network_bytes = 0
         self.network_messages = 0
+        self._lock = threading.Lock()
+        self._mirror = None
+        if registry is not None:
+            self.bind(registry, prefix=prefix, **labels)
+
+    def bind(self, registry, prefix="io", **labels):
+        """Mirror every subsequent update into ``registry`` counters."""
+        self._mirror = {
+            field: registry.counter("%s.%s" % (prefix, field), **labels)
+            for field in self._FIELDS
+        }
+        return self
+
+    def _mirror_add(self, field, amount):
+        if self._mirror is not None and amount:
+            self._mirror[field].inc(amount)
 
     def record_read(self, nbytes):
-        self.disk_reads += 1
-        self.disk_read_bytes += int(nbytes)
+        nbytes = int(nbytes)
+        with self._lock:
+            self.disk_reads += 1
+            self.disk_read_bytes += nbytes
+        self._mirror_add("disk_reads", 1)
+        self._mirror_add("disk_read_bytes", nbytes)
 
     def record_write(self, nbytes):
-        self.disk_writes += 1
-        self.disk_write_bytes += int(nbytes)
+        nbytes = int(nbytes)
+        with self._lock:
+            self.disk_writes += 1
+            self.disk_write_bytes += nbytes
+        self._mirror_add("disk_writes", 1)
+        self._mirror_add("disk_write_bytes", nbytes)
 
     def record_network(self, nbytes, messages=1):
-        self.network_bytes += int(nbytes)
-        self.network_messages += int(messages)
+        nbytes = int(nbytes)
+        messages = int(messages)
+        with self._lock:
+            self.network_bytes += nbytes
+            self.network_messages += messages
+        self._mirror_add("network_bytes", nbytes)
+        self._mirror_add("network_messages", messages)
 
     def merge(self, other):
-        self.disk_reads += other.disk_reads
-        self.disk_writes += other.disk_writes
-        self.disk_read_bytes += other.disk_read_bytes
-        self.disk_write_bytes += other.disk_write_bytes
-        self.network_bytes += other.network_bytes
-        self.network_messages += other.network_messages
+        added = other.snapshot()
+        with self._lock:
+            for field in self._FIELDS:
+                setattr(self, field, getattr(self, field) + added[field])
+        for field in self._FIELDS:
+            self._mirror_add(field, added[field])
 
     def snapshot(self):
-        return {
-            "disk_reads": self.disk_reads,
-            "disk_writes": self.disk_writes,
-            "disk_read_bytes": self.disk_read_bytes,
-            "disk_write_bytes": self.disk_write_bytes,
-            "network_bytes": self.network_bytes,
-            "network_messages": self.network_messages,
-        }
+        with self._lock:
+            return {field: getattr(self, field) for field in self._FIELDS}
 
     def __repr__(self):
         return "IOCounters(%r)" % (self.snapshot(),)
 
 
 class Counters:
-    """A free-form named-counter bag (the statistics collector's currency)."""
+    """A free-form named-counter bag (the statistics collector's currency).
 
-    def __init__(self):
+    Thread-safe; when bound to a telemetry registry, ``add`` mirrors into
+    registry counters and ``set`` into registry gauges.
+    """
+
+    def __init__(self, registry=None, prefix="counters", **labels):
         self._values = {}
+        self._lock = threading.Lock()
+        self._registry = None
+        self._prefix = prefix
+        self._labels = {}
+        if registry is not None:
+            self.bind(registry, prefix=prefix, **labels)
+
+    def bind(self, registry, prefix="counters", **labels):
+        """Mirror every subsequent update into ``registry``."""
+        self._registry = registry
+        self._prefix = prefix
+        self._labels = labels
+        return self
+
+    def _full(self, name):
+        return "%s.%s" % (self._prefix, name)
 
     def add(self, name, amount=1):
-        self._values[name] = self._values.get(name, 0) + amount
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
+        if self._registry is not None and amount:
+            self._registry.counter(self._full(name), **self._labels).inc(amount)
 
     def set(self, name, value):
-        self._values[name] = value
+        with self._lock:
+            self._values[name] = value
+        if self._registry is not None:
+            self._registry.gauge(self._full(name), **self._labels).set(value)
 
     def get(self, name, default=0):
         return self._values.get(name, default)
 
     def merge(self, other):
-        for name, value in other._values.items():
+        for name, value in other.snapshot().items():
             self.add(name, value)
 
     def snapshot(self):
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
     def __contains__(self, name):
         return name in self._values

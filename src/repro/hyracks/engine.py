@@ -23,6 +23,7 @@ from collections import OrderedDict
 from repro.common.accounting import Counters, IOCounters, MemoryBudget
 from repro.common.errors import JobFailure, WorkerFailure
 from repro.hyracks.scheduler import Scheduler
+from repro.telemetry import Telemetry
 
 #: Default per-node RAM budget: 64 MB of simulated worker memory.
 DEFAULT_NODE_MEMORY = 64 << 20
@@ -34,15 +35,21 @@ DEFAULT_PAGE_SIZE = 4096
 class NodeContext:
     """One shared-nothing worker: budget, local disk, cache, services."""
 
-    def __init__(self, node_id, root_dir, memory_bytes, cache_bytes, page_size):
+    def __init__(self, node_id, root_dir, memory_bytes, cache_bytes, page_size,
+                 telemetry=None):
         from repro.hyracks.storage.buffer_cache import BufferCache
         from repro.hyracks.storage.file_manager import FileManager
 
         self.node_id = node_id
+        self.telemetry = telemetry
         self.io = IOCounters()
+        if telemetry is not None:
+            self.io.bind(telemetry.registry, prefix="node.io", node=node_id)
         self.files = FileManager(os.path.join(root_dir, str(node_id)), self.io)
         self.budget = MemoryBudget(memory_bytes, name=str(node_id))
-        self.buffer_cache = BufferCache(cache_bytes, page_size, self.files)
+        self.buffer_cache = BufferCache(
+            cache_bytes, page_size, self.files, telemetry=telemetry, node_id=node_id
+        )
         self.services = {}
         self.alive = True
         self._fail_after_tasks = None
@@ -72,7 +79,11 @@ class NodeContext:
         """Wipe local state (what losing a machine loses)."""
         self.services.clear()
         self.buffer_cache.__init__(
-            self.buffer_cache.capacity, self.buffer_cache.page_size, self.files
+            self.buffer_cache.capacity,
+            self.buffer_cache.page_size,
+            self.files,
+            telemetry=self.telemetry,
+            node_id=self.node_id,
         )
         self.budget.reset()
 
@@ -81,6 +92,10 @@ class TaskContext:
     """What one operator clone sees while running."""
 
     __slots__ = ("node", "job", "partition", "num_partitions")
+
+    @property
+    def telemetry(self):
+        return self.job.telemetry
 
     def __init__(self, node, job, partition, num_partitions):
         self.node = node
@@ -112,10 +127,14 @@ class TaskContext:
 class JobContext:
     """Master-side per-job state shared by connectors and sinks."""
 
-    def __init__(self, name):
+    def __init__(self, name, telemetry=None):
         self.name = name
+        self.telemetry = telemetry
         self.io = IOCounters()  # network traffic (connector accounting)
         self.counters = Counters()
+        if telemetry is not None:
+            self.io.bind(telemetry.registry, prefix="engine.network")
+            self.counters.bind(telemetry.registry, prefix="engine.counters")
         self.collected = {}
 
 
@@ -163,6 +182,7 @@ class HyracksCluster:
         page_size=DEFAULT_PAGE_SIZE,
         root_dir=None,
         partitions_per_node=1,
+        telemetry=None,
     ):
         if buffer_cache_bytes is None:
             buffer_cache_bytes = int(node_memory_bytes * DEFAULT_CACHE_FRACTION)
@@ -171,11 +191,17 @@ class HyracksCluster:
         self.node_memory_bytes = int(node_memory_bytes)
         self.buffer_cache_bytes = int(buffer_cache_bytes)
         self.page_size = int(page_size)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.nodes = OrderedDict()
         for i in range(num_nodes):
             node_id = "node%d" % i
             self.nodes[node_id] = NodeContext(
-                node_id, self.root_dir, node_memory_bytes, buffer_cache_bytes, page_size
+                node_id,
+                self.root_dir,
+                node_memory_bytes,
+                buffer_cache_bytes,
+                page_size,
+                telemetry=self.telemetry,
             )
         self.scheduler = Scheduler(partitions_per_node)
         self.jobs_executed = 0
@@ -213,57 +239,79 @@ class HyracksCluster:
         """Run ``job_spec`` to completion and return a :class:`JobResult`."""
         started = time.perf_counter()
         placement = self.scheduler.place(job_spec, self.alive_node_ids())
-        job_ctx = JobContext(job_spec.name)
+        job_ctx = JobContext(job_spec.name, telemetry=self.telemetry)
         disk_before = self._disk_snapshot()
         cache_before = self._cache_snapshot()
         outputs = {}
         operator_seconds = {}
-        for operator in job_spec.topological_order():
-            locations = placement[operator.op_id]
-            num_partitions = len(locations)
-            input_edges = job_spec.inputs_of(operator)
-            routed_inputs = []
-            for edge in input_edges:
-                produced = outputs.get((edge.producer.op_id, edge.port))
-                if produced is None:
-                    raise JobFailure(
-                        "operator %r consumes unknown port %r of %r"
-                        % (operator, edge.port, edge.producer)
+        with self.telemetry.span("job:%s" % job_spec.name, category="job"):
+            for operator in job_spec.topological_order():
+                locations = placement[operator.op_id]
+                num_partitions = len(locations)
+                input_edges = job_spec.inputs_of(operator)
+                routed_inputs = []
+                for edge in input_edges:
+                    produced = outputs.get((edge.producer.op_id, edge.port))
+                    if produced is None:
+                        raise JobFailure(
+                            "operator %r consumes unknown port %r of %r"
+                            % (operator, edge.port, edge.producer)
+                        )
+                    routed_inputs.append(
+                        edge.connector.route(produced, num_partitions, job_ctx)
                     )
-                routed_inputs.append(
-                    edge.connector.route(produced, num_partitions, job_ctx)
+                operator.initialize(job_ctx)
+                per_port = {}
+                op_elapsed = 0.0
+                for partition in range(num_partitions):
+                    node = self.nodes[locations[partition]]
+                    try:
+                        node.check_failure()
+                    except WorkerFailure as failure:
+                        self.telemetry.event(
+                            "node.failure",
+                            category="failure",
+                            node=node.node_id,
+                            kind=failure.kind,
+                            operator=operator.name,
+                        )
+                        raise JobFailure(str(failure), cause=failure) from failure
+                    ctx = TaskContext(node, job_ctx, partition, num_partitions)
+                    clone_inputs = [routed[partition] for routed in routed_inputs]
+                    clone_started = time.perf_counter()
+                    try:
+                        with self.telemetry.span(
+                            operator.name,
+                            category="task",
+                            partition=partition,
+                            node=node.node_id,
+                        ):
+                            result = operator.run(ctx, partition, clone_inputs) or {}
+                    except WorkerFailure as failure:
+                        self.telemetry.event(
+                            "node.failure",
+                            category="failure",
+                            node=node.node_id,
+                            kind=failure.kind,
+                            operator=operator.name,
+                        )
+                        raise JobFailure(str(failure), cause=failure) from failure
+                    op_elapsed += time.perf_counter() - clone_started
+                    for port, tuples in result.items():
+                        per_port.setdefault(port, {})[partition] = tuples
+                operator.finalize(job_ctx)
+                operator_seconds[operator.name] = (
+                    operator_seconds.get(operator.name, 0.0) + op_elapsed
                 )
-            operator.initialize(job_ctx)
-            per_port = {}
-            op_elapsed = 0.0
-            for partition in range(num_partitions):
-                node = self.nodes[locations[partition]]
-                try:
-                    node.check_failure()
-                except WorkerFailure as failure:
-                    raise JobFailure(str(failure), cause=failure) from failure
-                ctx = TaskContext(node, job_ctx, partition, num_partitions)
-                clone_inputs = [routed[partition] for routed in routed_inputs]
-                clone_started = time.perf_counter()
-                try:
-                    result = operator.run(ctx, partition, clone_inputs) or {}
-                except WorkerFailure as failure:
-                    raise JobFailure(str(failure), cause=failure) from failure
-                op_elapsed += time.perf_counter() - clone_started
-                for port, tuples in result.items():
-                    per_port.setdefault(port, {})[partition] = tuples
-            operator.finalize(job_ctx)
-            operator_seconds[operator.name] = (
-                operator_seconds.get(operator.name, 0.0) + op_elapsed
-            )
-            ports = set(per_port)
-            for edge in job_spec.outputs_of(operator):
-                ports.add(edge.port)
-            for port in ports:
-                outputs[(operator.op_id, port)] = [
-                    per_port.get(port, {}).get(p, []) for p in range(num_partitions)
-                ]
+                ports = set(per_port)
+                for edge in job_spec.outputs_of(operator):
+                    ports.add(edge.port)
+                for port in ports:
+                    outputs[(operator.op_id, port)] = [
+                        per_port.get(port, {}).get(p, []) for p in range(num_partitions)
+                    ]
         self.jobs_executed += 1
+        self.telemetry.registry.counter("engine.jobs_executed").inc()
         disk_after = self._disk_snapshot()
         disk_delta = IOCounters()
         disk_delta.disk_reads = disk_after.disk_reads - disk_before.disk_reads

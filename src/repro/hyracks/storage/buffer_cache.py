@@ -15,13 +15,31 @@ from repro.hyracks.storage.pages import Page, PageId
 
 
 class BufferCacheStats:
-    """Hit/miss/eviction counters exposed to the statistics collector."""
+    """Hit/miss/eviction counters exposed to the statistics collector.
 
-    def __init__(self):
+    When given a telemetry registry the counters are mirrored into it
+    (labeled by node), so traces and exports see the same numbers the
+    collector snapshots.
+    """
+
+    _FIELDS = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self, registry=None, **labels):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self._mirror = None
+        if registry is not None:
+            self._mirror = {
+                field: registry.counter("storage.cache.%s" % field, **labels)
+                for field in self._FIELDS
+            }
+
+    def record(self, field, amount=1):
+        setattr(self, field, getattr(self, field) + amount)
+        if self._mirror is not None:
+            self._mirror[field].inc(amount)
 
     def snapshot(self):
         return {
@@ -46,7 +64,8 @@ class BufferCache:
         answer, keeping a stable prefix of the scan resident.
     """
 
-    def __init__(self, capacity_bytes, page_size, file_manager, replacement="lru"):
+    def __init__(self, capacity_bytes, page_size, file_manager, replacement="lru",
+                 telemetry=None, node_id=None):
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         if replacement not in ("lru", "mru"):
@@ -55,7 +74,14 @@ class BufferCache:
         self.page_size = int(page_size)
         self.replacement = replacement
         self.files = file_manager
-        self.stats = BufferCacheStats()
+        self.telemetry = telemetry
+        self.node_id = node_id
+        if telemetry is not None and node_id is not None:
+            self.stats = BufferCacheStats(telemetry.registry, node=node_id)
+        elif telemetry is not None:
+            self.stats = BufferCacheStats(telemetry.registry)
+        else:
+            self.stats = BufferCacheStats()
         self._pages = OrderedDict()  # PageId -> Page, LRU order (oldest first)
         self._cached_bytes = 0
         self._next_page_no = {}  # file_id -> next unallocated page number
@@ -99,11 +125,11 @@ class BufferCache:
         """Return the page, loading it from disk on a miss; pins it."""
         page = self._pages.get(page_id)
         if page is not None:
-            self.stats.hits += 1
+            self.stats.record("hits")
             self._pages.move_to_end(page_id)
             page.pin_count += 1
         else:
-            self.stats.misses += 1
+            self.stats.record("misses")
             data = self.files.read_page(page_id.file_id, page_id.page_no, self.page_size)
             page = Page.from_bytes(page_id, data, self.page_size)
             # Pin before admitting: the eviction pass a full cache runs
@@ -164,7 +190,15 @@ class BufferCache:
                 self._writeback(page)
             del self._pages[pid]
             self._cached_bytes -= self.page_size
-            self.stats.evictions += 1
+            self.stats.record("evictions")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "cache.evict",
+                    category="storage",
+                    node=self.node_id,
+                    file_id=pid.file_id,
+                    page_no=pid.page_no,
+                )
         # All remaining pages may be pinned; that is legal (a burst of
         # pins can exceed capacity), eviction resumes at the next unpin.
 
@@ -174,4 +208,13 @@ class BufferCache:
         )
         self._on_disk.add(page.page_id)
         page.dirty = False
-        self.stats.writebacks += 1
+        self.stats.record("writebacks")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "cache.spill",
+                category="storage",
+                node=self.node_id,
+                file_id=page.page_id.file_id,
+                page_no=page.page_id.page_no,
+                bytes=self.page_size,
+            )

@@ -14,6 +14,7 @@ Genomix path-merging assembler).
 """
 
 import bisect
+import contextlib
 
 from repro.common.errors import StorageError
 from repro.hyracks.storage.bloom import BloomFilter
@@ -44,10 +45,14 @@ class LSMBTree(Index):
         tradeoff), leaving newer components untouched.
     """
 
-    def __init__(self, buffer_cache, memory_budget_bytes=1 << 20, max_components=4, name=None, merge_policy="full"):
+    def __init__(self, buffer_cache, memory_budget_bytes=1 << 20, max_components=4, name=None, merge_policy="full", telemetry=None):
         if merge_policy not in ("full", "tiered"):
             raise ValueError("merge_policy must be 'full' or 'tiered'")
         self.cache = buffer_cache
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else getattr(buffer_cache, "telemetry", None)
+        )
         self.memory_budget = int(memory_budget_bytes)
         self.max_components = int(max_components)
         self.merge_policy = merge_policy
@@ -141,12 +146,25 @@ class LSMBTree(Index):
         """Flush the memory component to a new immutable disk component."""
         if not self._memory:
             return
-        self._components.insert(
-            0, self._build_component(sorted(self._memory.items()))
-        )
+        flushed_entries = len(self._memory)
+        flushed_bytes = self._memory_bytes
+        with self._storage_span("lsm.flush", entries=flushed_entries,
+                                bytes=flushed_bytes):
+            self._components.insert(
+                0, self._build_component(sorted(self._memory.items()))
+            )
         self._memory = {}
         self._memory_bytes = 0
         self.flushes += 1
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "lsm.flush",
+                category="storage",
+                index=self.name,
+                entries=flushed_entries,
+                bytes=flushed_bytes,
+            )
+            self.telemetry.registry.counter("storage.lsm.flushes").inc()
         if len(self._components) > self.max_components:
             self._merge_components()
 
@@ -188,18 +206,35 @@ class LSMBTree(Index):
             keep = len(self._components) // 2
             survivors = self._components[:keep]
             victims = self._components[keep:]
-        merged = self._build_component(
-            list(
-                self._merged_scan(
-                    [component.tree.scan() for component in victims],
-                    keep_tombstones=False,
+        with self._storage_span("lsm.merge", policy=self.merge_policy,
+                                victims=len(victims)):
+            merged = self._build_component(
+                list(
+                    self._merged_scan(
+                        [component.tree.scan() for component in victims],
+                        keep_tombstones=False,
+                    )
                 )
             )
-        )
-        self._components = survivors + [merged]
-        for component in victims:
-            component.tree.destroy()
+            self._components = survivors + [merged]
+            for component in victims:
+                component.tree.destroy()
         self.merges += 1
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "lsm.merge",
+                category="storage",
+                index=self.name,
+                policy=self.merge_policy,
+                victims=len(victims),
+            )
+            self.telemetry.registry.counter("storage.lsm.merges").inc()
+
+    def _storage_span(self, name, **args):
+        """A storage-op tracer span, or a no-op without telemetry."""
+        if self.telemetry is not None:
+            return self.telemetry.span(name, category="storage", index=self.name, **args)
+        return contextlib.nullcontext()
 
     @staticmethod
     def _merged_scan(sources, keep_tombstones=False):

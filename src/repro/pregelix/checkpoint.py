@@ -61,6 +61,15 @@ class IndexCheckpointOperator(OperatorDescriptor):
         blob = pack_pairs(index.scan())
         self.dfs.write(self.path_for_partition(partition), blob)
         ctx.io.record_read(len(blob))
+        telemetry = getattr(ctx, "telemetry", None)
+        if telemetry is not None:
+            telemetry.event(
+                "checkpoint.write",
+                category="checkpoint",
+                index=self.index_name,
+                partition=partition,
+                bytes=len(blob),
+            )
         return {}
 
 
@@ -98,7 +107,17 @@ class MsgCheckpointOperator(OperatorDescriptor):
         state = runtime_state(ctx, self.run_id)
         path = state["msg_files"].get(partition)
         pairs = RunFileReader(path, ctx.files) if path else []
-        self.dfs.write(self.path_for_partition(partition), pack_pairs(pairs))
+        blob = pack_pairs(pairs)
+        self.dfs.write(self.path_for_partition(partition), blob)
+        telemetry = getattr(ctx, "telemetry", None)
+        if telemetry is not None:
+            telemetry.event(
+                "checkpoint.write",
+                category="checkpoint",
+                index="msg",
+                partition=partition,
+                bytes=len(blob),
+            )
         return {}
 
 
@@ -127,11 +146,12 @@ class MsgRestoreOperator(OperatorDescriptor):
 class Checkpointer:
     """Builds checkpoint and recovery plans for one Pregelix run."""
 
-    def __init__(self, plan_generator):
+    def __init__(self, plan_generator, telemetry=None):
         self.generator = plan_generator
         self.dfs = plan_generator.dfs
         self.job = plan_generator.job
         self.run_id = plan_generator.run_id
+        self.telemetry = telemetry
 
     def root(self):
         return "/pregelix/%s/ckpt" % self.run_id
@@ -182,6 +202,13 @@ class Checkpointer:
             self.path(superstep, "gs"), self.dfs.read(self.generator.gs_path)
         )
         self.dfs.write(self.path(superstep, "_SUCCESS"), b"")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "checkpoint.commit",
+                category="checkpoint",
+                run_id=self.run_id,
+                superstep=superstep,
+            )
 
     def latest_checkpoint(self):
         """Most recent *committed* checkpointed superstep, or ``None``."""

@@ -14,8 +14,12 @@ RECOVERABLE_KINDS = ("interruption", "io")
 class FailureManager:
     """Tracks blacklisted machines and classifies failures."""
 
-    def __init__(self, cluster):
+    def __init__(self, cluster, telemetry=None):
         self.cluster = cluster
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else getattr(cluster, "telemetry", None)
+        )
         self.blacklist = set()
 
     def is_recoverable(self, failure):
@@ -32,6 +36,14 @@ class FailureManager:
         node = self.cluster.nodes.get(node_id)
         if node is not None and node.alive:
             self.cluster.kill_node(node_id)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "failure.blacklist",
+                category="failure",
+                node=node_id,
+                kind=getattr(failure.cause, "kind", "unknown"),
+            )
+            self.telemetry.registry.counter("pregelix.failures").inc()
         return node_id
 
     def healthy_nodes(self):

@@ -11,11 +11,12 @@ checkpoint replay on the surviving machines.
 import itertools
 import time
 
+from repro.common import costmodel
 from repro.common.errors import CheckpointNotFound, JobFailure
 from repro.pregelix.checkpoint import Checkpointer
 from repro.pregelix.failure import FailureManager
 from repro.pregelix.physical import PartitionMap, PlanGenerator
-from repro.pregelix.stats import StatisticsCollector
+from repro.pregelix.stats import StatisticsCollector, pregelix_sim_cost
 
 _run_ids = itertools.count(1)
 
@@ -64,6 +65,7 @@ class PregelixDriver:
     def __init__(self, cluster, dfs):
         self.cluster = cluster
         self.dfs = dfs
+        self.telemetry = cluster.telemetry
 
     # ------------------------------------------------------------------
     # public entry points
@@ -92,19 +94,30 @@ class PregelixDriver:
             self.cluster.scheduler.default_partitions_per_node,
         )
         generator = PlanGenerator(job, self.dfs, run_id, partition_map)
+        telemetry = self.telemetry
 
-        load_started = time.perf_counter()
-        load_result = self.cluster.execute(generator.loading_plan(input_path, parse_line))
-        load_seconds = time.perf_counter() - load_started
-        gs = load_result.collected["gs"][0][0]
+        with telemetry.span(
+            "pregelix:%s" % job.name, category="pregelix", run_id=run_id
+        ):
+            with telemetry.span("load", category="phase", run_id=run_id) as load_span:
+                load_started = time.perf_counter()
+                load_result = self.cluster.execute(
+                    generator.loading_plan(input_path, parse_line)
+                )
+                load_seconds = time.perf_counter() - load_started
+                gs = load_result.collected["gs"][0][0]
+                self._advance_sim_load(input_path, gs, load_span)
 
-        gs, generator, stats, recoveries = self._superstep_loop(job, generator, gs)
+            gs, generator, stats, recoveries = self._superstep_loop(job, generator, gs)
 
-        dump_seconds = 0.0
-        if output_path is not None:
-            dump_started = time.perf_counter()
-            self.cluster.execute(generator.dump_plan(output_path, format_record))
-            dump_seconds = time.perf_counter() - dump_started
+            dump_seconds = 0.0
+            if output_path is not None:
+                with telemetry.span("dump", category="phase", run_id=run_id):
+                    dump_started = time.perf_counter()
+                    self.cluster.execute(
+                        generator.dump_plan(output_path, format_record)
+                    )
+                    dump_seconds = time.perf_counter() - dump_started
 
         outcome = JobOutcome(
             job=job,
@@ -133,9 +146,10 @@ class PregelixDriver:
     # the superstep loop (shared with job pipelining)
     # ------------------------------------------------------------------
     def _superstep_loop(self, job, generator, gs):
-        checkpointer = Checkpointer(generator)
-        failures = FailureManager(self.cluster)
-        stats = StatisticsCollector()
+        telemetry = self.telemetry
+        checkpointer = Checkpointer(generator, telemetry=telemetry)
+        failures = FailureManager(self.cluster, telemetry=telemetry)
+        stats = StatisticsCollector(registry=telemetry.registry)
         recoveries = 0
         optimizer = None
         if job.auto_optimize:
@@ -146,34 +160,98 @@ class PregelixDriver:
                 job, optimizer.initial_plan(gs.num_vertices, gs.num_edges)
             )
             stats.optimizer_trace = optimizer.trace
+            self._record_replan(optimizer.trace.decisions[-1], superstep=0)
         while not gs.halt:
             if job.max_supersteps is not None and gs.superstep >= job.max_supersteps:
                 break
             try:
-                result = self.cluster.execute(generator.superstep_plan(gs))
-                gs = result.collected["gs"][0][0]
-                stats.record_superstep(gs.superstep, result)
+                with telemetry.span(
+                    "superstep:%d" % (gs.superstep + 1),
+                    category="superstep",
+                    run_id=generator.run_id,
+                ) as ss_span:
+                    result = self.cluster.execute(generator.superstep_plan(gs))
+                    gs = result.collected["gs"][0][0]
+                    record = stats.record_superstep(gs.superstep, result)
+                    self._advance_sim_superstep(job, record, ss_span)
                 if optimizer is not None and not gs.halt:
                     optimizer.apply(
                         job,
                         optimizer.next_plan(stats.supersteps[-1], gs.num_vertices),
+                    )
+                    self._record_replan(
+                        optimizer.trace.decisions[-1], superstep=gs.superstep
                     )
                 if (
                     job.checkpoint_interval
                     and gs.superstep % job.checkpoint_interval == 0
                     and not gs.halt
                 ):
-                    self.cluster.execute(checkpointer.checkpoint_plan(gs.superstep))
-                    checkpointer.save_gs(gs.superstep)
+                    with telemetry.span(
+                        "checkpoint:%d" % gs.superstep,
+                        category="checkpoint",
+                        run_id=generator.run_id,
+                    ):
+                        self.cluster.execute(
+                            checkpointer.checkpoint_plan(gs.superstep)
+                        )
+                        checkpointer.save_gs(gs.superstep)
             except JobFailure as failure:
                 if not failures.is_recoverable(failure):
                     raise
                 failures.record(failure)
-                gs, generator = self._recover(job, generator, checkpointer, failures)
-                checkpointer = Checkpointer(generator)
+                with telemetry.span(
+                    "recovery", category="recovery", run_id=generator.run_id
+                ):
+                    gs, generator = self._recover(
+                        job, generator, checkpointer, failures
+                    )
+                checkpointer = Checkpointer(generator, telemetry=telemetry)
                 recoveries += 1
+                telemetry.event(
+                    "failure.recovered",
+                    category="failure",
+                    run_id=generator.run_id,
+                    superstep=gs.superstep,
+                )
         stats.record_cluster(self.cluster)
         return gs, generator, stats, recoveries
+
+    # ------------------------------------------------------------------
+    # telemetry helpers
+    # ------------------------------------------------------------------
+    def _record_replan(self, decision, superstep):
+        self.telemetry.event(
+            "optimizer.replan",
+            category="optimizer",
+            superstep=superstep,
+            join_strategy=decision.join_strategy.value,
+            reason=decision.reason,
+        )
+
+    def _advance_sim_load(self, input_path, gs, span):
+        """Advance the sim clock by the cost model's load estimate."""
+        workers = max(len(self.cluster.alive_node_ids()), 1)
+        input_bytes = self.dfs.total_bytes(input_path)
+        sim = (
+            gs.num_vertices * costmodel.LOAD_BUILD_VERTEX / workers
+            + costmodel.disk_seconds(input_bytes, workers)
+        )
+        self.telemetry.sim_clock.advance(sim)
+        span.annotate(sim_seconds=sim, input_bytes=input_bytes)
+
+    def _advance_sim_superstep(self, job, record, span):
+        """Advance the sim clock by one superstep's cost-model seconds."""
+        workers = max(len(self.cluster.alive_node_ids()), 1)
+        cpu, disk, net = pregelix_sim_cost(record, job, workers)
+        sim = cpu + disk + net + costmodel.PREGELIX_BARRIER_SECONDS
+        self.telemetry.sim_clock.advance(sim)
+        span.annotate(
+            sim_seconds=sim,
+            superstep=record.superstep,
+            vertices=record.vertices_processed,
+            messages=record.messages_sent,
+        )
 
     def _recover(self, job, generator, checkpointer, failures):
         """Reload the latest checkpoint onto the surviving machines."""

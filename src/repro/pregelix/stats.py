@@ -5,9 +5,34 @@ volume) and Pregel-specific counters (vertices processed, messages sent
 and combined), plus cluster-wide snapshots such as the live machine set
 and buffer-cache behaviour. The benchmark harness reads these to produce
 the paper's figures.
+
+Since the telemetry subsystem landed, the collector is a *consumer* of
+the metrics registry: every ``record_superstep`` call publishes its
+counters into a ``pregelix``-scoped branch of the registry, and
+:meth:`StatisticsCollector.summary` is computed back out of the registry
+— the per-superstep table of :meth:`report` is unchanged, so figures and
+benchmarks are unaffected.
 """
 
 from dataclasses import dataclass, field
+
+from repro.common import costmodel
+from repro.telemetry.registry import MetricsRegistry
+
+#: SuperstepStats fields mirrored 1:1 into pregelix-scoped counters.
+_COUNTER_FIELDS = (
+    "network_bytes",
+    "network_messages",
+    "disk_read_bytes",
+    "disk_write_bytes",
+    "vertices_processed",
+    "messages_sent",
+    "combined_messages",
+    "join_tuples",
+    "index_probes",
+    "cache_misses",
+    "cache_writebacks",
+)
 
 
 @dataclass
@@ -31,33 +56,49 @@ class SuperstepStats:
 
 
 class StatisticsCollector:
-    """Accumulates superstep and cluster statistics for one job run."""
+    """Accumulates superstep and cluster statistics for one job run.
 
-    def __init__(self):
+    :param registry: a :class:`~repro.telemetry.MetricsRegistry` (or a
+        scoped view) to publish into; a private one is created when the
+        collector runs stand-alone.
+    """
+
+    def __init__(self, registry=None):
         self.supersteps = []
         self.live_machines = []
         self.buffer_cache = {}
         self.optimizer_trace = None  # set when the job auto-optimizes
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry.scoped("pregelix")
+        self._elapsed = self.registry.histogram("superstep_seconds")
 
     def record_superstep(self, superstep, job_result):
-        self.supersteps.append(
-            SuperstepStats(
-                superstep=superstep,
-                elapsed=job_result.elapsed,
-                network_bytes=job_result.network_io.network_bytes,
-                network_messages=job_result.network_io.network_messages,
-                disk_read_bytes=job_result.disk_io.disk_read_bytes,
-                disk_write_bytes=job_result.disk_io.disk_write_bytes,
-                vertices_processed=job_result.counters.get("vertices_processed"),
-                messages_sent=job_result.counters.get("messages_sent"),
-                combined_messages=job_result.counters.get("combined_messages"),
-                join_tuples=job_result.counters.get("join_tuples"),
-                index_probes=job_result.counters.get("index_probes"),
-                cache_misses=job_result.cache_misses,
-                cache_writebacks=job_result.cache_writebacks,
-                operator_seconds=dict(job_result.operator_seconds),
-            )
+        record = SuperstepStats(
+            superstep=superstep,
+            elapsed=job_result.elapsed,
+            network_bytes=job_result.network_io.network_bytes,
+            network_messages=job_result.network_io.network_messages,
+            disk_read_bytes=job_result.disk_io.disk_read_bytes,
+            disk_write_bytes=job_result.disk_io.disk_write_bytes,
+            vertices_processed=job_result.counters.get("vertices_processed"),
+            messages_sent=job_result.counters.get("messages_sent"),
+            combined_messages=job_result.counters.get("combined_messages"),
+            join_tuples=job_result.counters.get("join_tuples"),
+            index_probes=job_result.counters.get("index_probes"),
+            cache_misses=job_result.cache_misses,
+            cache_writebacks=job_result.cache_writebacks,
+            operator_seconds=dict(job_result.operator_seconds),
         )
+        self.supersteps.append(record)
+        self._elapsed.observe(record.elapsed)
+        for name in _COUNTER_FIELDS:
+            amount = getattr(record, name)
+            if amount:
+                self.registry.counter(name).inc(amount)
+        for operator, seconds in record.operator_seconds.items():
+            self.registry.counter("operator_seconds", operator=operator).inc(seconds)
+        return record
 
     def record_cluster(self, cluster):
         """Snapshot the live machine set and buffer-cache counters."""
@@ -66,6 +107,10 @@ class StatisticsCollector:
             node_id: node.buffer_cache.stats.snapshot()
             for node_id, node in cluster.nodes.items()
         }
+        self.registry.gauge("live_machines").set(len(self.live_machines))
+        for node_id, snapshot in self.buffer_cache.items():
+            for name, value in snapshot.items():
+                self.registry.gauge("buffer_cache.%s" % name, node=node_id).set(value)
 
     # ------------------------------------------------------------------
     # summaries
@@ -96,14 +141,25 @@ class StatisticsCollector:
     def total_spill_bytes(self):
         return sum(stats.disk_write_bytes for stats in self.supersteps)
 
+    @property
+    def total_operator_seconds(self):
+        """Wall seconds by operator name, summed over all supersteps."""
+        totals = {}
+        for record in self.supersteps:
+            for operator, seconds in record.operator_seconds.items():
+                totals[operator] = totals.get(operator, 0.0) + seconds
+        return totals
+
     def summary(self):
+        """The headline numbers, read back out of the metrics registry."""
+        elapsed = self._elapsed
         return {
-            "supersteps": self.num_supersteps,
-            "total_elapsed": self.total_elapsed,
-            "avg_iteration_seconds": self.avg_iteration_seconds,
-            "messages_sent": self.total_messages_sent,
-            "network_bytes": self.total_network_bytes,
-            "spill_bytes": self.total_spill_bytes,
+            "supersteps": elapsed.count,
+            "total_elapsed": elapsed.total,
+            "avg_iteration_seconds": elapsed.mean,
+            "messages_sent": self.registry.value("messages_sent"),
+            "network_bytes": self.registry.value("network_bytes"),
+            "spill_bytes": self.registry.value("disk_write_bytes"),
         }
 
     def report(self, out=print):
@@ -143,3 +199,60 @@ class StatisticsCollector:
                     "plan ss%d: %s (%s)"
                     % (index + 1, decision.join_strategy.value, decision.reason)
                 )
+        # Access-method and operator-time detail (collected since the
+        # seed but previously never printed).
+        join_tuples = sum(record.join_tuples for record in self.supersteps)
+        index_probes = sum(record.index_probes for record in self.supersteps)
+        out("join tuples: %d, index probes: %d" % (join_tuples, index_probes))
+        operator_totals = self.total_operator_seconds
+        if operator_totals:
+            out(
+                "operator seconds: "
+                + ", ".join(
+                    "%s=%.3f" % (operator, seconds)
+                    for operator, seconds in sorted(
+                        operator_totals.items(), key=lambda item: -item[1]
+                    )
+                )
+            )
+
+
+def pregelix_sim_cost(record, job, workers):
+    """(cpu, disk, net) simulated seconds for one Pregelix superstep.
+
+    Derived from the superstep's actual operation counts: scanned join
+    tuples (full-outer plans) or index probes (left-outer plans), compute
+    calls with their in-place index updates, messages through the
+    two-stage group-by and Msg files, plus the job's real spill and
+    shuffle byte counters.
+    """
+    from repro.pregelix.api import ConnectorPolicy
+
+    # Probe counts are nonzero exactly when the superstep ran the
+    # left-outer-join plan (plan-independent, so per-superstep plan
+    # switching under the optimizer is charged correctly).
+    if record.index_probes:
+        access_cpu = record.index_probes * costmodel.PREGELIX_PROBE
+    else:
+        access_cpu = record.join_tuples * costmodel.PREGELIX_SCAN_TUPLE
+    message_cost = costmodel.PREGELIX_MESSAGE
+    if job.connector_policy == ConnectorPolicy.MERGED:
+        # Receiver-side merging skips the re-grouping work but must
+        # coordinate one sorted stream per sender; the wait grows with
+        # the cluster (the tech-report tradeoff the paper cites in 7.5).
+        message_cost = costmodel.PREGELIX_MESSAGE * (0.75 + 0.04 * workers)
+    cpu = (
+        access_cpu
+        + record.vertices_processed
+        * (costmodel.PREGELIX_COMPUTE + costmodel.PREGELIX_UPDATE)
+        + record.messages_sent * message_cost
+    ) / workers
+    paged_bytes = (record.cache_misses + record.cache_writebacks) * 4096
+    sequential_bytes = max(
+        0, record.disk_read_bytes + record.disk_write_bytes - paged_bytes
+    )
+    disk = costmodel.disk_seconds(sequential_bytes, workers) + (
+        costmodel.paged_disk_seconds(paged_bytes, workers)
+    )
+    net = costmodel.network_seconds(record.network_bytes, workers)
+    return (cpu, disk, net)

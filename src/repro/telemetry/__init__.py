@@ -1,0 +1,61 @@
+"""repro.telemetry — unified tracing, metrics, and event logging.
+
+The observability spine of the reproduction (DESIGN.md "Telemetry"):
+
+* :mod:`repro.telemetry.registry` — hierarchical labeled metrics
+  (counters, gauges, histograms) that the statistics collector and the
+  accounting adapters feed.
+* :mod:`repro.telemetry.tracing` — nested spans (job → superstep →
+  operator task → storage op) with wall-clock and simulated-time stamps.
+* :mod:`repro.telemetry.events` — a ring-buffered structured event log
+  for discrete occurrences (evictions, LSM flushes, checkpoints,
+  failures, optimizer re-plans).
+* :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON (Perfetto
+  / ``about://tracing``), JSONL, ring buffer, and summary-table sinks.
+* :mod:`repro.telemetry.session` — the :class:`Telemetry` facade wiring
+  the three together, one per simulated cluster.
+"""
+
+from repro.telemetry.events import Event, EventLog
+from repro.telemetry.export import (
+    RingBufferSink,
+    chrome_trace,
+    chrome_trace_events,
+    iter_records,
+    print_summary,
+    summary_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedRegistry,
+)
+from repro.telemetry.session import Telemetry, ensure_telemetry
+from repro.telemetry.tracing import SimClock, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "ScopedRegistry",
+    "SimClock",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "ensure_telemetry",
+    "iter_records",
+    "print_summary",
+    "summary_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+]

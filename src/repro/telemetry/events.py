@@ -1,0 +1,101 @@
+"""Structured event log for discrete occurrences.
+
+Where spans time *regions* and metrics accumulate *totals*, the event log
+records *moments*: a buffer-cache eviction or spill, an LSM flush or
+merge, a checkpoint commit, a node failure or blacklist, an optimizer
+re-plan. Events land in a bounded ring buffer (oldest dropped first, the
+drop count kept), so always-on instrumentation cannot grow memory without
+bound even under cache-thrash workloads that evict millions of pages.
+"""
+
+import threading
+import time
+from collections import Counter as _TallyCounter
+from collections import deque
+
+DEFAULT_CAPACITY = 65_536
+
+
+class Event:
+    """One discrete occurrence."""
+
+    __slots__ = ("ts", "name", "category", "args")
+
+    def __init__(self, ts, name, category, args):
+        self.ts = ts
+        self.name = name
+        self.category = category
+        self.args = args
+
+    def to_record(self):
+        record = {
+            "type": "event",
+            "ts": self.ts,
+            "name": self.name,
+            "category": self.category,
+        }
+        if self.args:
+            record["args"] = dict(self.args)
+        return record
+
+    def __repr__(self):
+        return "Event(%s/%s%r)" % (self.category, self.name, self.args)
+
+
+class EventLog:
+    """Ring buffer of :class:`Event`\\ s plus per-name tallies.
+
+    Tallies survive ring-buffer eviction: ``counts()`` reflects every
+    event ever emitted, while iteration yields only the retained window.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, enabled=True):
+        self.capacity = int(capacity)
+        self.enabled = enabled
+        self._events = deque(maxlen=self.capacity)
+        self._tally = _TallyCounter()
+        self._emitted = 0
+        self._lock = threading.Lock()
+
+    def emit(self, name, category="event", **args):
+        """Record one event; returns it (or ``None`` when disabled)."""
+        if not self.enabled:
+            return None
+        event = Event(time.perf_counter(), name, category, args)
+        with self._lock:
+            self._events.append(event)
+            self._tally[name] += 1
+            self._emitted += 1
+        return event
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self, name=None, category=None):
+        """Retained events, oldest first, optionally filtered."""
+        with self._lock:
+            events = list(self._events)
+        if name is not None:
+            events = [e for e in events if e.name == name]
+        if category is not None:
+            events = [e for e in events if e.category == category]
+        return events
+
+    def counts(self):
+        """``{event name: total emitted}`` including dropped events."""
+        with self._lock:
+            return dict(self._tally)
+
+    @property
+    def emitted(self):
+        return self._emitted
+
+    @property
+    def dropped(self):
+        return self._emitted - len(self._events)
+
+    def __iter__(self):
+        return iter(self.snapshot())
+
+    def __len__(self):
+        return len(self._events)

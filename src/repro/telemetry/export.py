@@ -1,0 +1,205 @@
+"""Telemetry sinks: Chrome trace JSON, JSONL, ring buffer, summary table.
+
+The Chrome exporter emits the ``trace_event`` format that
+``about://tracing`` and Perfetto load directly: a ``B``/``E`` duration
+pair per completed span plus an instant (``i``) event per event-log
+entry, all on one timeline. Only *completed* spans are exported, so
+``B``/``E`` pairs are matched by construction; output is sorted so
+timestamps are monotone and nesting is well-formed even when events share
+a microsecond.
+"""
+
+import json
+
+#: pid used for every emitted trace event (one simulated cluster process).
+TRACE_PID = 1
+
+
+def _timebase(telemetry):
+    """Earliest timestamp across spans and events (trace time zero)."""
+    candidates = [span.start for span in telemetry.tracer.finished_spans()]
+    candidates.extend(event.ts for event in telemetry.events)
+    return min(candidates) if candidates else 0.0
+
+
+def _us(ts, timebase):
+    return int(round((ts - timebase) * 1e6))
+
+
+def chrome_trace_events(telemetry):
+    """The sorted ``traceEvents`` list for one telemetry session."""
+    timebase = _timebase(telemetry)
+    raw = []
+    for span in telemetry.tracer.finished_spans():
+        args = dict(span.args)
+        if span.sim_duration is not None:
+            args.setdefault("sim_seconds", span.sim_duration)
+        common = {
+            "name": span.name,
+            "cat": span.category or "span",
+            "pid": TRACE_PID,
+            "tid": span.tid,
+        }
+        begin = dict(common, ph="B", ts=_us(span.start, timebase))
+        if args:
+            begin["args"] = args
+        end = dict(common, ph="E", ts=_us(span.end, timebase))
+        # Sort keys enforce well-formed nesting on timestamp ties: ends
+        # before begins, inner ends before outer ends, outer begins
+        # before inner begins.
+        raw.append(((begin["ts"], 1, span.depth), begin))
+        raw.append(((end["ts"], 0, -span.depth), end))
+    for event in telemetry.events:
+        instant = {
+            "name": event.name,
+            "cat": event.category or "event",
+            "ph": "i",
+            "s": "g",
+            "ts": _us(event.ts, timebase),
+            "pid": TRACE_PID,
+            "tid": TRACE_PID,
+        }
+        if event.args:
+            instant["args"] = dict(event.args)
+        raw.append(((instant["ts"], 0, 0), instant))
+    raw.sort(key=lambda pair: pair[0])
+    return [payload for _key, payload in raw]
+
+
+def chrome_trace(telemetry):
+    """The full Chrome ``trace_event`` document (a JSON object)."""
+    return {
+        "traceEvents": chrome_trace_events(telemetry),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.telemetry",
+            "sim_seconds": telemetry.sim_clock.seconds,
+        },
+    }
+
+
+def write_chrome_trace(telemetry, path):
+    """Write the trace to ``path``; open it in Perfetto / about://tracing."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(telemetry), handle)
+    return path
+
+
+# ---------------------------------------------------------------------
+# record streams (JSONL / ring buffer)
+# ---------------------------------------------------------------------
+def iter_records(telemetry):
+    """Every span, event, and metric as one flat dict stream."""
+    for span in telemetry.tracer.finished_spans():
+        yield span.to_record()
+    for event in telemetry.events:
+        yield event.to_record()
+    for metric in telemetry.registry.iter_metrics():
+        record = {
+            "type": "metric",
+            "kind": metric.kind,
+            "name": metric.name,
+            "value": metric.value,
+        }
+        if metric.labels:
+            record["labels"] = dict(metric.labels)
+        if metric.kind == "histogram":
+            record["summary"] = metric.summary()
+        yield record
+
+
+def write_jsonl(telemetry, path_or_file):
+    """Dump :func:`iter_records` as JSON lines; returns the record count."""
+    handle = path_or_file
+    owns = isinstance(path_or_file, str)
+    if owns:
+        handle = open(path_or_file, "w")
+    try:
+        count = 0
+        for record in iter_records(telemetry):
+            handle.write(json.dumps(record, default=str) + "\n")
+            count += 1
+        return count
+    finally:
+        if owns:
+            handle.close()
+
+
+class RingBufferSink:
+    """Holds the last ``capacity`` exported records in memory."""
+
+    def __init__(self, capacity=4096):
+        from collections import deque
+
+        self.capacity = int(capacity)
+        self._records = deque(maxlen=self.capacity)
+
+    def collect(self, telemetry):
+        for record in iter_records(telemetry):
+            self._records.append(record)
+        return len(self._records)
+
+    def records(self):
+        return list(self._records)
+
+    def __len__(self):
+        return len(self._records)
+
+
+# ---------------------------------------------------------------------
+# the human-readable summary table
+# ---------------------------------------------------------------------
+def summary_lines(telemetry):
+    """A compact operator/metric/event summary (the ``--stats`` footer)."""
+    from repro.telemetry.registry import format_metric_key
+
+    lines = ["-- telemetry summary --"]
+    metrics = telemetry.registry.iter_metrics()
+    if metrics:
+        lines.append("metrics:")
+        for metric in metrics:
+            key = format_metric_key(metric.name, metric.labels)
+            if metric.kind == "histogram":
+                lines.append(
+                    "  %-48s n=%d sum=%.6g min=%.6g max=%.6g"
+                    % (
+                        key,
+                        metric.count,
+                        metric.total,
+                        metric.min if metric.min is not None else 0,
+                        metric.max if metric.max is not None else 0,
+                    )
+                )
+            else:
+                value = metric.value
+                rendered = "%.6g" % value if isinstance(value, float) else str(value)
+                lines.append("  %-48s %s" % (key, rendered))
+    counts = telemetry.events.counts()
+    if counts:
+        lines.append("events:")
+        for name in sorted(counts):
+            lines.append("  %-48s %d" % (name, counts[name]))
+        if telemetry.events.dropped:
+            lines.append(
+                "  (%d older events dropped by the ring buffer)"
+                % telemetry.events.dropped
+            )
+    span_totals = {}
+    for span in telemetry.tracer.finished_spans():
+        key = (span.category, span.name.split(":")[0])
+        count, total = span_totals.get(key, (0, 0.0))
+        span_totals[key] = (count + 1, total + (span.duration or 0.0))
+    if span_totals:
+        lines.append("spans (wall seconds by category/name):")
+        for (category, name), (count, total) in sorted(
+            span_totals.items(), key=lambda item: -item[1][1]
+        ):
+            lines.append("  %-48s n=%-6d %.6fs" % ("%s/%s" % (category, name), count, total))
+    if telemetry.sim_clock.seconds:
+        lines.append("simulated seconds: %.6f" % telemetry.sim_clock.seconds)
+    return lines
+
+
+def print_summary(telemetry, out=print):
+    for line in summary_lines(telemetry):
+        out(line)

@@ -1,0 +1,234 @@
+"""The hierarchical metrics registry (counters, gauges, histograms).
+
+One :class:`MetricsRegistry` per telemetry session holds every metric the
+system records. Metrics are identified by a dotted name plus an optional
+set of labels (``registry.counter("cache.misses", node="node0")``), so
+one registry serves the whole simulated cluster without per-component
+counter classes. ``scoped("pregelix")`` returns a view that prefixes
+names, which is how each subsystem gets its own branch of the hierarchy.
+
+The pre-existing :class:`~repro.common.accounting.Counters` and
+:class:`~repro.common.accounting.IOCounters` classes survive as thin
+adapters: when bound to a registry they mirror every update here, so the
+statistics collector and any exporter see one coherent metric space.
+"""
+
+import threading
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+def format_metric_key(name, labels):
+    """Render ``name`` + labels as ``name{k=v,...}`` (stable order)."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % (k, v) for k, v in labels))
+
+
+class Counter:
+    """A monotonically increasing value (int or float increments)."""
+
+    kind = "counter"
+
+    def __init__(self, name, labels=()):
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self):
+        return "Counter(%s=%r)" % (format_metric_key(self.name, self.labels), self._value)
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. cached bytes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, labels=()):
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1):
+        self.inc(-amount)
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self):
+        return "Gauge(%s=%r)" % (format_metric_key(self.name, self.labels), self._value)
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max, mean.
+
+    ``total`` accumulates observations in arrival order, so a histogram
+    fed the per-superstep elapsed times reproduces ``sum(list)`` exactly
+    (bit-for-bit float equality) — which is what lets the statistics
+    collector compute its summary from the registry without drift.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, labels=()):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def value(self):
+        """Histograms summarize to their total (for uniform snapshots)."""
+        return self.total
+
+    def summary(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self):
+        return "Histogram(%s: n=%d sum=%r)" % (
+            format_metric_key(self.name, self.labels),
+            self.count,
+            self.total,
+        )
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labeled metrics."""
+
+    def __init__(self):
+        self._metrics = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+    def _get_or_create(self, kind, name, labels):
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = _KINDS[kind](name, key[1])
+                self._metrics[key] = metric
+            elif metric.kind != kind:
+                raise TypeError(
+                    "metric %r already registered as %s, requested %s"
+                    % (format_metric_key(name, key[1]), metric.kind, kind)
+                )
+            return metric
+
+    def counter(self, name, **labels):
+        return self._get_or_create("counter", name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get_or_create("gauge", name, labels)
+
+    def histogram(self, name, **labels):
+        return self._get_or_create("histogram", name, labels)
+
+    def scoped(self, prefix):
+        """A view of this registry that prefixes every name with ``prefix.``."""
+        return ScopedRegistry(self, prefix)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def get(self, name, **labels):
+        """The registered metric, or ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name, default=0, **labels):
+        metric = self.get(name, **labels)
+        return metric.value if metric is not None else default
+
+    def iter_metrics(self):
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sorted(metrics, key=lambda m: (m.name, m.labels))
+
+    def snapshot(self):
+        """Flat ``{"name{labels}": value}`` view of every metric."""
+        return {
+            format_metric_key(metric.name, metric.labels): metric.value
+            for metric in self.iter_metrics()
+        }
+
+    def __len__(self):
+        return len(self._metrics)
+
+
+class ScopedRegistry:
+    """A prefixing view over a :class:`MetricsRegistry` (hierarchical names)."""
+
+    def __init__(self, registry, prefix):
+        while isinstance(registry, ScopedRegistry):
+            prefix = "%s.%s" % (registry.prefix, prefix)
+            registry = registry.registry
+        self.registry = registry
+        self.prefix = prefix
+
+    def _full(self, name):
+        return "%s.%s" % (self.prefix, name)
+
+    def counter(self, name, **labels):
+        return self.registry.counter(self._full(name), **labels)
+
+    def gauge(self, name, **labels):
+        return self.registry.gauge(self._full(name), **labels)
+
+    def histogram(self, name, **labels):
+        return self.registry.histogram(self._full(name), **labels)
+
+    def scoped(self, prefix):
+        return ScopedRegistry(self, prefix)
+
+    def get(self, name, **labels):
+        return self.registry.get(self._full(name), **labels)
+
+    def value(self, name, default=0, **labels):
+        return self.registry.value(self._full(name), default=default, **labels)

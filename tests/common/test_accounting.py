@@ -1,9 +1,12 @@
 """Tests for memory budgets and counters."""
 
+import threading
+
 import pytest
 
 from repro.common.accounting import Counters, IOCounters, MemoryBudget
 from repro.common.errors import MemoryBudgetExceeded
+from repro.telemetry import MetricsRegistry
 
 
 class TestMemoryBudget:
@@ -60,6 +63,16 @@ class TestMemoryBudget:
         budget.reset()
         assert budget.used == 0
 
+    def test_reset_clears_peak(self):
+        # Regression: reset() used to clear only _used, leaking one
+        # job's high-water mark into the next job's report.
+        budget = MemoryBudget(100)
+        budget.allocate(80)
+        budget.reset()
+        assert budget.peak == 0
+        budget.allocate(30)
+        assert budget.peak == 30
+
 
 class TestIOCounters:
     def test_recording(self):
@@ -107,3 +120,72 @@ class TestCounters:
         counters.add("x", 5)
         counters.set("x", 1)
         assert counters.get("x") == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_io_recording(self):
+        io = IOCounters()
+
+        def spin():
+            for _ in range(2000):
+                io.record_read(1)
+                io.record_network(2)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert io.disk_reads == 8000
+        assert io.disk_read_bytes == 8000
+        assert io.network_bytes == 16000
+
+    def test_concurrent_counter_adds(self):
+        counters = Counters()
+
+        def spin():
+            for _ in range(2000):
+                counters.add("messages")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.get("messages") == 8000
+
+
+class TestRegistryBinding:
+    def test_io_counters_mirror_when_bound(self):
+        registry = MetricsRegistry()
+        io = IOCounters(registry, prefix="node.io", node="node0")
+        io.record_read(100)
+        io.record_write(50)
+        io.record_network(25, messages=2)
+        assert registry.value("node.io.disk_read_bytes", node="node0") == 100
+        assert registry.value("node.io.disk_writes", node="node0") == 1
+        assert registry.value("node.io.network_messages", node="node0") == 2
+
+    def test_io_merge_mirrors_into_registry(self):
+        registry = MetricsRegistry()
+        bound = IOCounters(registry, prefix="total")
+        unbound = IOCounters()
+        unbound.record_read(64)
+        bound.merge(unbound)
+        assert bound.disk_read_bytes == 64
+        assert registry.value("total.disk_read_bytes") == 64
+
+    def test_unbound_counters_touch_no_registry(self):
+        io = IOCounters()
+        io.record_read(10)  # must not raise, no registry involved
+        assert io._mirror is None
+
+    def test_counters_add_and_set_mirror(self):
+        registry = MetricsRegistry()
+        counters = Counters(registry, prefix="engine.counters")
+        counters.add("messages_sent", 7)
+        counters.set("live_partitions", 3)
+        assert registry.value("engine.counters.messages_sent") == 7
+        assert registry.value("engine.counters.live_partitions") == 3
+        counters.set("live_partitions", 2)  # gauges move both ways
+        assert registry.value("engine.counters.live_partitions") == 2

@@ -1,0 +1,57 @@
+"""Unit tests for the structured event log ring buffer."""
+
+from repro.telemetry import EventLog
+
+
+class TestEmit:
+    def test_emit_and_snapshot(self):
+        log = EventLog()
+        log.emit("cache.evict", category="storage", node="node0", page_no=3)
+        log.emit("lsm.flush", category="storage")
+        log.emit("checkpoint.commit", category="checkpoint")
+        assert len(log) == 3
+        assert [e.name for e in log] == ["cache.evict", "lsm.flush", "checkpoint.commit"]
+        evict = log.snapshot(name="cache.evict")[0]
+        assert evict.args == {"node": "node0", "page_no": 3}
+        assert evict.category == "storage"
+        assert len(log.snapshot(category="storage")) == 2
+
+    def test_timestamps_monotone(self):
+        log = EventLog()
+        for i in range(10):
+            log.emit("e%d" % i)
+        stamps = [e.ts for e in log]
+        assert stamps == sorted(stamps)
+
+    def test_to_record(self):
+        log = EventLog()
+        event = log.emit("x", category="c", k=1)
+        record = event.to_record()
+        assert record["type"] == "event"
+        assert record["name"] == "x"
+        assert record["args"] == {"k": 1}
+
+    def test_disabled_log_is_a_noop(self):
+        log = EventLog(enabled=False)
+        assert log.emit("x") is None
+        assert len(log) == 0
+        assert log.counts() == {}
+
+
+class TestRingBuffer:
+    def test_capacity_drops_oldest(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("e%d" % i)
+        assert len(log) == 4
+        assert [e.name for e in log] == ["e6", "e7", "e8", "e9"]
+        assert log.emitted == 10
+        assert log.dropped == 6
+
+    def test_counts_survive_eviction(self):
+        log = EventLog(capacity=2)
+        for _ in range(5):
+            log.emit("cache.evict")
+        log.emit("lsm.merge")
+        assert log.counts() == {"cache.evict": 5, "lsm.merge": 1}
+        assert len(log) == 2  # only the window is retained

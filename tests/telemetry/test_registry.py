@@ -1,0 +1,148 @@
+"""Unit tests for the metrics registry: labels, scoping, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import format_metric_key
+
+
+class TestMetricIdentity:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("cache.misses")
+        b = registry.counter("cache.misses")
+        assert a is b
+        a.inc(3)
+        assert registry.value("cache.misses") == 3
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.misses", node="node0").inc(2)
+        registry.counter("cache.misses", node="node1").inc(5)
+        assert registry.value("cache.misses", node="node0") == 2
+        assert registry.value("cache.misses", node="node1") == 5
+        assert registry.value("cache.misses") == 0  # unlabeled is distinct
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", node="n0", op="scan")
+        b = registry.counter("m", op="scan", node="n0")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_value_default_for_missing(self):
+        registry = MetricsRegistry()
+        assert registry.value("nope") == 0
+        assert registry.value("nope", default=None) is None
+        assert registry.get("nope") is None
+
+
+class TestMetricKinds:
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live_machines")
+        gauge.set(4)
+        gauge.dec()
+        gauge.inc(2)
+        assert gauge.value == 5
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("superstep_seconds")
+        for value in (0.5, 1.5, 1.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(3.0)
+        assert hist.min == 0.5
+        assert hist.max == 1.5
+        assert hist.mean == pytest.approx(1.0)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(3.0)
+
+    def test_histogram_total_matches_sum_exactly(self):
+        # Arrival-order accumulation must reproduce sum(list) bit-for-bit;
+        # the statistics collector's summary() depends on this.
+        values = [0.1 * i + 1e-9 for i in range(50)]
+        registry = MetricsRegistry()
+        hist = registry.histogram("elapsed")
+        for value in values:
+            hist.observe(value)
+        assert hist.total == sum(values)
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestScoping:
+    def test_scoped_prefixes_names(self):
+        registry = MetricsRegistry()
+        scoped = registry.scoped("pregelix")
+        scoped.counter("messages_sent").inc(9)
+        assert registry.value("pregelix.messages_sent") == 9
+        assert scoped.value("messages_sent") == 9
+
+    def test_nested_scopes_collapse(self):
+        registry = MetricsRegistry()
+        inner = registry.scoped("storage").scoped("lsm")
+        inner.counter("flushes").inc()
+        assert registry.value("storage.lsm.flushes") == 1
+        assert inner.registry is registry  # views collapse to one level
+
+
+class TestSnapshot:
+    def test_snapshot_keys_and_values(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(1)
+        registry.counter("b", node="n0").inc(2)
+        registry.histogram("h").observe(4.0)
+        snap = registry.snapshot()
+        assert snap["a"] == 1
+        assert snap["b{node=n0}"] == 2
+        assert snap["h"] == 4.0  # histograms summarize to their total
+        assert len(registry) == 3
+
+    def test_format_metric_key(self):
+        assert format_metric_key("a", ()) == "a"
+        assert format_metric_key("a", (("node", "n0"), ("op", "x"))) == "a{node=n0,op=x}"
+
+
+class TestThreadSafety:
+    def test_concurrent_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def bump():
+            for _ in range(5000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 20000
+
+    def test_concurrent_get_or_create(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create():
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(metric is seen[0] for metric in seen)
+        assert len(registry) == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the tracer: nesting, sim-clock stamps, retention."""
+
+import threading
+
+from repro.telemetry import SimClock, Tracer
+
+
+class TestNesting:
+    def test_parent_ids_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("job", category="job") as outer:
+            with tracer.span("superstep:1", category="superstep") as mid:
+                with tracer.span("task", category="task") as inner:
+                    assert tracer.current() is inner
+                    assert inner.depth == 2
+                assert tracer.current() is mid
+            assert mid.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        assert [s.name for s in tracer.finished_spans()] == [
+            "task",
+            "superstep:1",
+            "job",
+        ]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("job") as job:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {s.name: s for s in tracer.finished_spans()}
+        assert spans["a"].parent_id == job.span_id
+        assert spans["b"].parent_id == job.span_id
+        assert spans["a"].depth == spans["b"].depth == 1
+
+    def test_current_is_none_at_top_level(self):
+        assert Tracer().current() is None
+
+    def test_manual_start_finish(self):
+        tracer = Tracer()
+        span = tracer.start("manual", category="x", detail=1)
+        assert not span.finished
+        tracer.finish(span)
+        assert span.finished
+        assert span.duration >= 0.0
+        assert tracer.finished_spans(category="x") == [span]
+
+    def test_out_of_order_finish_unwinds(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        tracer.finish(outer)  # inner never finished; stack must unwind
+        assert tracer.current() is None
+
+    def test_filters(self):
+        tracer = Tracer()
+        with tracer.span("superstep:1", category="superstep"):
+            pass
+        with tracer.span("load", category="phase"):
+            pass
+        assert len(tracer.finished_spans(category="superstep")) == 1
+        assert len(tracer.finished_spans(name_prefix="superstep:")) == 1
+        assert len(tracer.finished_spans()) == 2
+
+
+class TestSimClock:
+    def test_spans_stamp_sim_time(self):
+        clock = SimClock()
+        tracer = Tracer(sim_clock=clock)
+        clock.advance(5.0)
+        with tracer.span("superstep:1") as span:
+            clock.advance(2.5)
+        assert span.sim_start == 5.0
+        assert span.sim_end == 7.5
+        assert span.sim_duration == 2.5
+        record = span.to_record()
+        assert record["sim_start"] == 5.0
+
+    def test_no_clock_means_no_sim_stamps(self):
+        tracer = Tracer()
+        with tracer.span("x") as span:
+            pass
+        assert span.sim_start is None
+        assert span.sim_duration is None
+        assert "sim_start" not in span.to_record()
+
+
+class TestRetention:
+    def test_max_spans_drops_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            with tracer.span("s%d" % i):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.finished_spans()] == ["s2", "s3", "s4"]
+
+    def test_disabled_tracer_keeps_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            assert tracer.current() is span  # nesting still works
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+
+class TestThreads:
+    def test_per_thread_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name) as span:
+                seen[name] = (span.parent_id, span.tid)
+
+        with tracer.span("main-root"):
+            threads = [
+                threading.Thread(target=worker, args=("t%d" % i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Worker threads have their own stacks: no parent inherited,
+        # and their tids differ from the main thread's.
+        for name in ("t0", "t1", "t2"):
+            parent_id, tid = seen[name]
+            assert parent_id is None
+            assert tid != threading.get_ident()
+
+    def test_annotate(self):
+        tracer = Tracer()
+        with tracer.span("x", a=1) as span:
+            span.annotate(b=2)
+        assert span.args == {"a": 1, "b": 2}

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -101,6 +102,58 @@ class TestRun:
         code, lines = run_cli(["run", "sssp", "--input", empty])
         assert code == 2
         assert any("no input files" in line for line in lines)
+
+
+class TestTrace:
+    @pytest.fixture
+    def chain_dir(self, tmp_path):
+        out_dir = str(tmp_path / "in")
+        run_cli(["generate", "--family", "chain", "--vertices", "15", "--out", out_dir])
+        return out_dir
+
+    def test_run_with_trace_writes_chrome_json(self, chain_dir, tmp_path):
+        trace_path = str(tmp_path / "trace.json")
+        code, lines = run_cli(
+            ["run", "pagerank", "--input", chain_dir, "--nodes", "2",
+             "--iterations", "2", "--trace", trace_path]
+        )
+        assert code == 0
+        assert any("trace written to" in line for line in lines)
+        with open(trace_path) as handle:
+            document = json.load(handle)
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "pregelix:pagerank" in names
+        assert "superstep:1" in names
+        assert document["otherData"]["sim_seconds"] > 0
+
+    def test_trace_subcommand(self, chain_dir, tmp_path):
+        trace_path = str(tmp_path / "out.json")
+        code, lines = run_cli(
+            ["trace", "sssp", "--input", chain_dir, "--nodes", "2",
+             "--out", trace_path]
+        )
+        assert code == 0
+        with open(trace_path) as handle:
+            document = json.load(handle)
+        assert document["traceEvents"]
+
+    def test_trace_jsonl_sidecar(self, chain_dir, tmp_path):
+        jsonl_path = str(tmp_path / "telemetry.jsonl")
+        code, _lines = run_cli(
+            ["run", "sssp", "--input", chain_dir, "--nodes", "2",
+             "--trace-jsonl", jsonl_path]
+        )
+        assert code == 0
+        with open(jsonl_path) as handle:
+            records = [json.loads(line) for line in handle]
+        assert {"span", "metric"} <= {record["type"] for record in records}
+
+    def test_stats_prints_telemetry_summary(self, chain_dir):
+        code, lines = run_cli(
+            ["run", "sssp", "--input", chain_dir, "--nodes", "2", "--stats"]
+        )
+        assert code == 0
+        assert any("-- telemetry summary --" in line for line in lines)
 
 
 class TestLoc:

@@ -1,0 +1,64 @@
+"""repro.chaos — seeded fault injection and differential plan testing.
+
+Two halves:
+
+* :mod:`repro.chaos.faults` — a deterministic, replayable fault
+  injector. A :class:`FaultPlan` (optionally drawn from
+  ``random.Random(seed)``) lists :class:`FaultSpec` injection points;
+  a :class:`FaultInjector` attached to a
+  :class:`~repro.hyracks.engine.HyracksCluster` fires them at superstep
+  boundaries, operator open/next/close, buffer-cache page I/O, and
+  checkpoint writes — raising worker failures, killing nodes, or
+  delaying the simulated clock, with every firing recorded in telemetry.
+
+* :mod:`repro.chaos.differential` — a :class:`DifferentialChecker` that
+  runs one algorithm across the 16 physical plans x memory budgets x
+  fault schedules and asserts bit-identical results plus agreement with
+  an independent reference (:mod:`repro.chaos.reference`).
+
+Exposed on the command line as ``repro chaos``.
+"""
+
+from repro.chaos.differential import (
+    BUDGETS,
+    BudgetProfile,
+    CellResult,
+    DifferentialChecker,
+    DifferentialReport,
+    PlanChoice,
+    all_plans,
+    values_close,
+)
+from repro.chaos.faults import (
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    ChaosError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    check_fault,
+)
+from repro.chaos.reference import AlgorithmCase, algorithm_case, algorithm_names
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
+    "AlgorithmCase",
+    "BUDGETS",
+    "BudgetProfile",
+    "CellResult",
+    "ChaosError",
+    "DifferentialChecker",
+    "DifferentialReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "PlanChoice",
+    "algorithm_case",
+    "algorithm_names",
+    "all_plans",
+    "check_fault",
+    "values_close",
+]

@@ -1,0 +1,362 @@
+"""Differential plan-equivalence checking across the 16 physical plans.
+
+The paper's core correctness claim is that every physical plan — 2 join
+strategies x 4 group-by strategies (2 sender group-bys x 2 connector
+policies) x 2 vertex storages — computes the *same answer* while trading
+performance. :class:`DifferentialChecker` turns that claim into a
+mechanical check: run one algorithm across a configurable matrix of
+
+    plans x memory budgets ({roomy, spill-forcing}) x fault schedules,
+
+assert every cell produced bit-identical final vertex values, and check
+the values against an independent reference computed through
+:mod:`repro.graphs.nxadapter` (networkx when installed, a pure-Python
+equivalent otherwise). Any divergence is reported with the exact
+``(plan, budget, fault seed)`` triple needed to reproduce it::
+
+    repro chaos --algorithm sssp --plans loj/hashsort/unmerged/lsm \\
+        --budgets spill --fault-seed 7
+
+Faulted cells run with ``checkpoint_interval=1`` and a seeded
+:class:`~repro.chaos.faults.FaultPlan`, so they also verify that
+checkpoint/blacklist recovery reproduces the fault-free answer.
+"""
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import FaultInjector, FaultPlan
+from repro.pregelix.api import (
+    ConnectorPolicy,
+    GroupByStrategy,
+    JoinStrategy,
+    VertexStorage,
+)
+
+#: Short plan-axis codes used on the CLI and in reports.
+_JOIN_CODES = {"foj": JoinStrategy.FULL_OUTER, "loj": JoinStrategy.LEFT_OUTER}
+_GROUPBY_CODES = {"sort": GroupByStrategy.SORT, "hashsort": GroupByStrategy.HASHSORT}
+_CONNECTOR_CODES = {"unmerged": ConnectorPolicy.UNMERGED, "merged": ConnectorPolicy.MERGED}
+_STORAGE_CODES = {"btree": VertexStorage.BTREE, "lsm": VertexStorage.LSM_BTREE}
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One of the sixteen physical plans."""
+
+    join: JoinStrategy
+    groupby: GroupByStrategy
+    connector: ConnectorPolicy
+    storage: VertexStorage
+
+    def signature(self):
+        def code(table, value):
+            return next(k for k, v in table.items() if v is value)
+
+        return "%s/%s/%s/%s" % (
+            code(_JOIN_CODES, self.join),
+            code(_GROUPBY_CODES, self.groupby),
+            code(_CONNECTOR_CODES, self.connector),
+            code(_STORAGE_CODES, self.storage),
+        )
+
+    @classmethod
+    def parse(cls, signature):
+        """Inverse of :meth:`signature` (``foj/sort/unmerged/btree``)."""
+        parts = signature.split("/")
+        if len(parts) != 4:
+            raise ValueError(
+                "plan signature must be join/groupby/connector/storage, got %r"
+                % signature
+            )
+        try:
+            return cls(
+                _JOIN_CODES[parts[0]],
+                _GROUPBY_CODES[parts[1]],
+                _CONNECTOR_CODES[parts[2]],
+                _STORAGE_CODES[parts[3]],
+            )
+        except KeyError as missing:
+            raise ValueError("unknown plan axis code %s in %r" % (missing, signature))
+
+    def apply(self, job):
+        job.join_strategy = self.join
+        job.groupby_strategy = self.groupby
+        job.connector_policy = self.connector
+        job.vertex_storage = self.storage
+        return job
+
+
+def all_plans():
+    """All sixteen physical plans, in a stable order."""
+    return [
+        PlanChoice(join, groupby, connector, storage)
+        for join, groupby, connector, storage in itertools.product(
+            JoinStrategy, GroupByStrategy, ConnectorPolicy, VertexStorage
+        )
+    ]
+
+
+@dataclass(frozen=True)
+class BudgetProfile:
+    """Memory sizing for one matrix column.
+
+    ``spill`` shrinks the per-node buffer cache to a handful of pages and
+    the group-by/sort budget to under a kilobyte, forcing page eviction,
+    run-file spills, and multiway merges even on test-sized graphs — the
+    out-of-core machinery must not change a single output bit.
+    """
+
+    name: str
+    node_memory_bytes: int = 64 << 20
+    buffer_cache_bytes: int = None
+    groupby_memory_bytes: int = 64 << 20
+
+
+BUDGETS = {
+    "roomy": BudgetProfile("roomy"),
+    "spill": BudgetProfile(
+        "spill",
+        buffer_cache_bytes=8 * 4096,
+        groupby_memory_bytes=512,
+    ),
+}
+
+
+@dataclass
+class CellResult:
+    """One matrix cell: a full Pregelix run under one configuration."""
+
+    algorithm: str
+    plan: PlanChoice
+    budget: str
+    fault_seed: object  # int seed or None for the fault-free schedule
+    lines: tuple = None
+    recoveries: int = 0
+    faults_fired: int = 0
+    error: str = None
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def repro_command(self):
+        parts = [
+            "repro chaos",
+            "--algorithm %s" % self.algorithm,
+            "--plans %s" % self.plan.signature(),
+            "--budgets %s" % self.budget,
+        ]
+        if self.fault_seed is not None:
+            parts.append("--fault-seed %d" % self.fault_seed)
+        return " ".join(parts)
+
+    def describe(self):
+        state = "ok" if self.ok else "ERROR(%s)" % self.error
+        extras = ""
+        if self.fault_seed is not None:
+            extras = " faults=%d recoveries=%d" % (self.faults_fired, self.recoveries)
+        return "%-28s budget=%-5s seed=%-4s %s%s" % (
+            self.plan.signature(),
+            self.budget,
+            self.fault_seed,
+            state,
+            extras,
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """What a matrix run found; ``ok`` means the claim held everywhere."""
+
+    algorithm: str
+    cells: list = field(default_factory=list)
+    divergences: list = field(default_factory=list)
+    reference_mismatches: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.divergences and not self.reference_mismatches
+
+    def summary_lines(self):
+        lines = [
+            "differential %s: %d cells, %d divergences, %d reference mismatches"
+            % (
+                self.algorithm,
+                len(self.cells),
+                len(self.divergences),
+                len(self.reference_mismatches),
+            )
+        ]
+        for cell in self.cells:
+            lines.append("  " + cell.describe())
+        for message in self.divergences + self.reference_mismatches:
+            lines.append("  DIVERGENCE: %s" % message)
+        return lines
+
+
+class DifferentialChecker:
+    """Runs one algorithm across a plan/budget/fault matrix.
+
+    :param algorithm: name of the algorithm case (``pagerank``, ``sssp``,
+        ``cc`` — see :mod:`repro.chaos.reference` for the case registry).
+    :param vertices: the input graph as ``(vid, value, edges)`` tuples.
+    :param num_nodes: simulated cluster size per cell.
+    :param num_faults: faults per seeded schedule.
+    :param checkpoint_interval: checkpoint cadence for faulted cells
+        (1 guarantees every fault armed from superstep 2 is recoverable).
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        vertices,
+        num_nodes=3,
+        num_faults=2,
+        checkpoint_interval=1,
+        algorithm_params=None,
+    ):
+        from repro.chaos.reference import algorithm_case
+
+        self.algorithm = algorithm
+        self.case = algorithm_case(algorithm, **(algorithm_params or {}))
+        self.vertices = list(vertices)
+        self.num_nodes = num_nodes
+        self.num_faults = num_faults
+        self.checkpoint_interval = checkpoint_interval
+
+    # ------------------------------------------------------------------
+    # one cell
+    # ------------------------------------------------------------------
+    def run_cell(self, plan, budget="roomy", fault_seed=None, root_dir=None):
+        """Run one full Pregelix job under one matrix configuration."""
+        from repro.hdfs import MiniDFS
+        from repro.hyracks.engine import HyracksCluster
+        from repro.pregelix.runtime import PregelixDriver
+
+        profile = BUDGETS[budget] if isinstance(budget, str) else budget
+        cluster = HyracksCluster(
+            num_nodes=self.num_nodes,
+            node_memory_bytes=profile.node_memory_bytes,
+            buffer_cache_bytes=profile.buffer_cache_bytes,
+            root_dir=root_dir,
+        )
+        cell = CellResult(
+            algorithm=self.algorithm,
+            plan=plan,
+            budget=profile.name,
+            fault_seed=fault_seed,
+        )
+        injector = None
+        try:
+            dfs = MiniDFS(datanodes=cluster.node_ids())
+            from repro.graphs.io import write_graph_to_dfs
+
+            write_graph_to_dfs(
+                dfs, "/in/g", iter(self.vertices), num_files=self.num_nodes
+            )
+            job = plan.apply(self.case.build_job())
+            job.groupby_memory_bytes = profile.groupby_memory_bytes
+            if fault_seed is not None:
+                job.checkpoint_interval = self.checkpoint_interval
+                schedule = FaultPlan.random(
+                    fault_seed, cluster.node_ids(), num_faults=self.num_faults
+                )
+                injector = FaultInjector(schedule).attach(cluster)
+            driver = PregelixDriver(cluster, dfs)
+            outcome = driver.run(
+                job,
+                "/in/g",
+                output_path="/out/r",
+                parse_line=self.case.parse_line,
+                format_record=self.case.format_record,
+            )
+            cell.lines = tuple(sorted(driver.read_output("/out/r")))
+            cell.recoveries = outcome.recoveries
+            if injector is not None:
+                cell.faults_fired = len(injector.fired)
+        except Exception as error:  # a divergence *is* the finding
+            cell.error = "%s: %s" % (type(error).__name__, error)
+        finally:
+            cluster.close()
+        return cell
+
+    # ------------------------------------------------------------------
+    # the matrix
+    # ------------------------------------------------------------------
+    def run_matrix(
+        self,
+        plans=None,
+        budgets=("roomy",),
+        fault_seeds=(None,),
+        progress=None,
+    ):
+        """Run every (plan, budget, fault seed) cell and compare them.
+
+        Bit-identity is asserted within each *(budget, group-by
+        strategy)* equivalence class, where "group-by strategy" is the
+        paper's four-way taxonomy (sender group-by x connector policy):
+        any plan varying only in join strategy or vertex storage —
+        faulted or not — must produce byte-equal output lines. That is
+        the paper's plan-equivalence claim made literal, and it makes
+        fault recovery provably exact: a faulted cell must reproduce its
+        fault-free twin bit for bit. Across classes the aggregation
+        *order* changes (spilled sort runs, pre-merged connector
+        streams, and in-memory hash-sort tables accumulate floats in
+        different orders), which legally perturbs the last ulp of float
+        sums — so every class's agreed answer is instead checked against
+        the independent reference under the algorithm's tolerance (exact
+        for integer-valued algorithms).
+        """
+        plans = list(plans) if plans is not None else all_plans()
+        report = DifferentialReport(algorithm=self.algorithm)
+        baselines = {}  # (budget, groupby, connector) -> first ok cell
+        for plan in plans:
+            for budget in budgets:
+                for fault_seed in fault_seeds:
+                    cell = self.run_cell(plan, budget=budget, fault_seed=fault_seed)
+                    report.cells.append(cell)
+                    if progress is not None:
+                        progress(cell.describe())
+                    if not cell.ok:
+                        report.divergences.append(
+                            "%s failed: %s (reproduce: %s)"
+                            % (cell.describe(), cell.error, cell.repro_command())
+                        )
+                        continue
+                    key = (cell.budget, plan.groupby, plan.connector)
+                    baseline = baselines.setdefault(key, cell)
+                    if cell is not baseline and cell.lines != baseline.lines:
+                        report.divergences.append(
+                            "%s diverges from %s under the same budget "
+                            "(reproduce: %s)"
+                            % (
+                                cell.describe(),
+                                baseline.plan.signature(),
+                                cell.repro_command(),
+                            )
+                        )
+        if baselines:
+            expected = self.case.reference(self.vertices)
+            for key in sorted(baselines, key=str):
+                got = self.case.parse_values(baselines[key].lines)
+                report.reference_mismatches.extend(
+                    "budget %s, %s/%s group-by: %s"
+                    % (key[0], key[1].value, key[2].value, problem)
+                    for problem in self.case.compare(got, expected)
+                )
+        return report
+
+
+def values_close(got, expected, tolerance=0.0):
+    """Compare two scalar result values; ``inf`` matches ``inf``."""
+    if got is None or expected is None:
+        return got is expected
+    if isinstance(expected, float):
+        if math.isinf(expected) or math.isinf(got):
+            return math.isinf(expected) and math.isinf(got)
+        if tolerance == 0.0:
+            return got == expected
+        return math.isclose(got, expected, rel_tol=tolerance, abs_tol=tolerance)
+    return got == expected

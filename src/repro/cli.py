@@ -14,6 +14,11 @@ Examples::
 
     # the Section 7.6 lines-of-code comparison
     python -m repro loc
+
+    # differential plan testing under seeded fault injection
+    python -m repro chaos --quick
+    python -m repro chaos --algorithm sssp --plans loj/hashsort/unmerged/lsm \\
+        --budgets spill --fault-seed 7 --show-schedule
 """
 
 import argparse
@@ -126,6 +131,44 @@ def build_parser():
     explain.add_argument("--groupby", choices=["sort", "hashsort"], default=None)
     explain.add_argument("--connector", choices=["merged", "unmerged"], default=None)
     explain.add_argument("--nodes", type=int, default=4)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="differential plan testing under seeded fault injection",
+    )
+    chaos.add_argument(
+        "--algorithm", action="append", choices=["sssp", "cc", "pagerank"],
+        default=None,
+        help="algorithm(s) to check (repeatable; default: all three)",
+    )
+    chaos.add_argument("--vertices", type=int, default=120,
+                       help="size of the generated BTC-style test graph")
+    chaos.add_argument("--graph-seed", type=int, default=3)
+    chaos.add_argument("--nodes", type=int, default=3,
+                       help="simulated machines per cell")
+    chaos.add_argument(
+        "--plans", default=None,
+        help="comma-separated plan signatures (join/groupby/connector/"
+             "storage, e.g. loj/hashsort/unmerged/lsm); default: all 16",
+    )
+    chaos.add_argument(
+        "--budgets", default=None,
+        help="comma-separated memory budgets (roomy, spill); default: both",
+    )
+    chaos.add_argument(
+        "--fault-seed", action="append", type=int, default=None,
+        help="seed(s) for random fault schedules (repeatable); "
+             "default: one schedule with seed 7",
+    )
+    chaos.add_argument("--no-faults", action="store_true",
+                       help="run only the fault-free schedule")
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI smoke: SSSP only, 4 corner plans, both "
+                            "budgets, one fault schedule")
+    chaos.add_argument("--show-schedule", action="store_true",
+                       help="print each seeded fault schedule before running")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print every cell as it completes")
 
     sub.add_parser("loc", help="the Section 7.6 lines-of-code comparison")
     return parser
@@ -366,6 +409,73 @@ def cmd_explain(args, out=print):
     return 0
 
 
+def cmd_chaos(args, out=print):
+    from repro.chaos import DifferentialChecker, FaultPlan, PlanChoice, all_plans
+    from repro.graphs.generators import btc_graph
+
+    algorithms = args.algorithm or ["sssp", "cc", "pagerank"]
+    plans = (
+        [PlanChoice.parse(sig.strip()) for sig in args.plans.split(",")]
+        if args.plans
+        else all_plans()
+    )
+    budgets = (
+        tuple(b.strip() for b in args.budgets.split(","))
+        if args.budgets
+        else ("roomy", "spill")
+    )
+    fault_seeds = [None] + (args.fault_seed if args.fault_seed is not None else [7])
+    if args.no_faults:
+        fault_seeds = [None]
+    if args.quick:
+        algorithms = args.algorithm or ["sssp"]
+        # The four corners of the plan space: every axis flips at least once.
+        plans = [
+            PlanChoice.parse(sig)
+            for sig in (
+                "foj/sort/unmerged/btree",
+                "foj/hashsort/merged/lsm",
+                "loj/sort/merged/lsm",
+                "loj/hashsort/unmerged/btree",
+            )
+        ]
+
+    vertices = list(btc_graph(args.vertices, seed=args.graph_seed))
+    if args.show_schedule:
+        node_ids = ["node%d" % i for i in range(args.nodes)]
+        for seed in fault_seeds:
+            if seed is None:
+                continue
+            for line in FaultPlan.random(seed, node_ids).describe():
+                out(line)
+
+    failures = 0
+    for algorithm in algorithms:
+        checker = DifferentialChecker(algorithm, vertices, num_nodes=args.nodes)
+        report = checker.run_matrix(
+            plans=plans,
+            budgets=budgets,
+            fault_seeds=fault_seeds,
+            progress=(lambda line: out("  " + line)) if args.verbose else None,
+        )
+        if report.ok:
+            out(
+                "chaos %s: OK (%d cells, %d plans x %d budgets x %d schedules)"
+                % (
+                    algorithm,
+                    len(report.cells),
+                    len(plans),
+                    len(budgets),
+                    len(fault_seeds),
+                )
+            )
+        else:
+            failures += 1
+            for line in report.summary_lines():
+                out(line)
+    return 1 if failures else 0
+
+
 def cmd_loc(args, out=print):
     from repro.bench.figures import section76_loc
 
@@ -386,6 +496,8 @@ def main(argv=None, out=print):
         return cmd_figures(args, out=out)
     if args.command == "explain":
         return cmd_explain(args, out=out)
+    if args.command == "chaos":
+        return cmd_chaos(args, out=out)
     if args.command == "loc":
         return cmd_loc(args, out=out)
     return 2

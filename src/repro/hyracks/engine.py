@@ -52,6 +52,7 @@ class NodeContext:
         )
         self.services = {}
         self.alive = True
+        self.fault_injector = None
         self._fail_after_tasks = None
         self._failure_kind = "interruption"
 
@@ -85,6 +86,7 @@ class NodeContext:
             telemetry=self.telemetry,
             node_id=self.node_id,
         )
+        self.buffer_cache.fault_injector = self.fault_injector
         self.budget.reset()
 
 
@@ -122,6 +124,10 @@ class TaskContext:
     @property
     def io(self):
         return self.node.io
+
+    @property
+    def fault_injector(self):
+        return self.node.fault_injector
 
 
 class JobContext:
@@ -205,6 +211,8 @@ class HyracksCluster:
             )
         self.scheduler = Scheduler(partitions_per_node)
         self.jobs_executed = 0
+        #: Optional chaos hook (see repro.chaos.faults.FaultInjector).
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # cluster membership
@@ -263,23 +271,21 @@ class HyracksCluster:
                 operator.initialize(job_ctx)
                 per_port = {}
                 op_elapsed = 0.0
+                injector = self.fault_injector
                 for partition in range(num_partitions):
                     node = self.nodes[locations[partition]]
-                    try:
-                        node.check_failure()
-                    except WorkerFailure as failure:
-                        self.telemetry.event(
-                            "node.failure",
-                            category="failure",
-                            node=node.node_id,
-                            kind=failure.kind,
-                            operator=operator.name,
-                        )
-                        raise JobFailure(str(failure), cause=failure) from failure
                     ctx = TaskContext(node, job_ctx, partition, num_partitions)
                     clone_inputs = [routed[partition] for routed in routed_inputs]
                     clone_started = time.perf_counter()
                     try:
+                        node.check_failure()
+                        if injector is not None:
+                            injector.check(
+                                "operator.open",
+                                node=node.node_id,
+                                operator=operator.name,
+                                partition=partition,
+                            )
                         with self.telemetry.span(
                             operator.name,
                             category="task",
@@ -287,6 +293,27 @@ class HyracksCluster:
                             node=node.node_id,
                         ):
                             result = operator.run(ctx, partition, clone_inputs) or {}
+                        if injector is not None:
+                            # "next": output produced, not yet registered —
+                            # a fault here loses the clone's work exactly
+                            # like a crash mid-stream would.
+                            injector.check(
+                                "operator.next",
+                                node=node.node_id,
+                                operator=operator.name,
+                                partition=partition,
+                                tuples=sum(len(t) for t in result.values()),
+                            )
+                        op_elapsed += time.perf_counter() - clone_started
+                        for port, tuples in result.items():
+                            per_port.setdefault(port, {})[partition] = tuples
+                        if injector is not None:
+                            injector.check(
+                                "operator.close",
+                                node=node.node_id,
+                                operator=operator.name,
+                                partition=partition,
+                            )
                     except WorkerFailure as failure:
                         self.telemetry.event(
                             "node.failure",
@@ -296,9 +323,6 @@ class HyracksCluster:
                             operator=operator.name,
                         )
                         raise JobFailure(str(failure), cause=failure) from failure
-                    op_elapsed += time.perf_counter() - clone_started
-                    for port, tuples in result.items():
-                        per_port.setdefault(port, {})[partition] = tuples
                 operator.finalize(job_ctx)
                 operator_seconds[operator.name] = (
                     operator_seconds.get(operator.name, 0.0) + op_elapsed

@@ -76,6 +76,8 @@ class BufferCache:
         self.files = file_manager
         self.telemetry = telemetry
         self.node_id = node_id
+        #: Optional chaos hook, installed by FaultInjector.attach.
+        self.fault_injector = None
         if telemetry is not None and node_id is not None:
             self.stats = BufferCacheStats(telemetry.registry, node=node_id)
         elif telemetry is not None:
@@ -130,6 +132,13 @@ class BufferCache:
             page.pin_count += 1
         else:
             self.stats.record("misses")
+            if self.fault_injector is not None:
+                self.fault_injector.check(
+                    "page.read",
+                    node=self.node_id,
+                    file_id=page_id.file_id,
+                    page_no=page_id.page_no,
+                )
             data = self.files.read_page(page_id.file_id, page_id.page_no, self.page_size)
             page = Page.from_bytes(page_id, data, self.page_size)
             # Pin before admitting: the eviction pass a full cache runs
@@ -203,6 +212,13 @@ class BufferCache:
         # pins can exceed capacity), eviction resumes at the next unpin.
 
     def _writeback(self, page):
+        if self.fault_injector is not None:
+            self.fault_injector.check(
+                "page.write",
+                node=self.node_id,
+                file_id=page.page_id.file_id,
+                page_no=page.page_id.page_no,
+            )
         self.files.write_page(
             page.page_id.file_id, page.page_id.page_no, page.to_bytes(), self.page_size
         )

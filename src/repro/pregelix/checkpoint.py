@@ -59,6 +59,13 @@ class IndexCheckpointOperator(OperatorDescriptor):
     def run(self, ctx, partition, inputs):
         index = get_index(ctx, self.index_name, partition)
         blob = pack_pairs(index.scan())
+        if ctx.fault_injector is not None:
+            ctx.fault_injector.check(
+                "checkpoint.write",
+                node=ctx.node.node_id,
+                index=self.index_name,
+                partition=partition,
+            )
         self.dfs.write(self.path_for_partition(partition), blob)
         ctx.io.record_read(len(blob))
         telemetry = getattr(ctx, "telemetry", None)
@@ -108,6 +115,13 @@ class MsgCheckpointOperator(OperatorDescriptor):
         path = state["msg_files"].get(partition)
         pairs = RunFileReader(path, ctx.files) if path else []
         blob = pack_pairs(pairs)
+        if ctx.fault_injector is not None:
+            ctx.fault_injector.check(
+                "checkpoint.write",
+                node=ctx.node.node_id,
+                index="msg",
+                partition=partition,
+            )
         self.dfs.write(self.path_for_partition(partition), blob)
         telemetry = getattr(ctx, "telemetry", None)
         if telemetry is not None:

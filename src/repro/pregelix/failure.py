@@ -30,8 +30,23 @@ class FailureManager:
         return isinstance(cause, WorkerFailure) and cause.kind in RECOVERABLE_KINDS
 
     def record(self, failure):
-        """Blacklist the failed machine; returns its node id."""
-        node_id = failure.cause.node_id
+        """Blacklist the failed machine; returns its node id.
+
+        Failures whose cause carries no ``node_id`` (e.g. application
+        exceptions that slipped past classification) cannot blacklist a
+        machine: they are logged as unattributed and ``None`` is
+        returned instead of raising.
+        """
+        node_id = getattr(getattr(failure, "cause", None), "node_id", None)
+        if node_id is None:
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "failure.unattributed",
+                    category="failure",
+                    error=str(failure),
+                    kind=getattr(getattr(failure, "cause", None), "kind", "unknown"),
+                )
+            return None
         self.blacklist.add(node_id)
         node = self.cluster.nodes.get(node_id)
         if node is not None and node.alive:

@@ -12,7 +12,12 @@ import itertools
 import time
 
 from repro.common import costmodel
-from repro.common.errors import CheckpointNotFound, JobFailure
+from repro.common.errors import (
+    CheckpointNotFound,
+    JobFailure,
+    SchedulingError,
+    WorkerFailure,
+)
 from repro.pregelix.checkpoint import Checkpointer
 from repro.pregelix.failure import FailureManager
 from repro.pregelix.physical import PartitionMap, PlanGenerator
@@ -110,6 +115,12 @@ class PregelixDriver:
 
             gs, generator, stats, recoveries = self._superstep_loop(job, generator, gs)
 
+            injector = getattr(self.cluster, "fault_injector", None)
+            if injector is not None:
+                # The chaos harness targets the iterative phase; leftover
+                # faults must not tear the final result dump.
+                injector.disarm(reason="superstep loop complete")
+
             dump_seconds = 0.0
             if output_path is not None:
                 with telemetry.span("dump", category="phase", run_id=run_id):
@@ -161,10 +172,30 @@ class PregelixDriver:
             )
             stats.optimizer_trace = optimizer.trace
             self._record_replan(optimizer.trace.decisions[-1], superstep=0)
-        while not gs.halt:
-            if job.max_supersteps is not None and gs.superstep >= job.max_supersteps:
-                break
+        injector = getattr(self.cluster, "fault_injector", None)
+        while True:
             try:
+                alive = set(self.cluster.alive_node_ids())
+                dead = [
+                    loc
+                    for loc in generator.partition_map.locations
+                    if loc not in alive
+                ]
+                if dead:
+                    # A machine was lost without surfacing a task failure
+                    # (e.g. powered off just after its last clone of the
+                    # superstep ran). Its partitions are gone; recover
+                    # before declaring the loop complete or continuing.
+                    raise JobFailure(
+                        "machine %s lost between supersteps" % dead[0],
+                        cause=WorkerFailure(dead[0]),
+                    )
+                if gs.halt:
+                    break
+                if job.max_supersteps is not None and gs.superstep >= job.max_supersteps:
+                    break
+                if injector is not None:
+                    injector.begin_superstep(gs.superstep + 1)
                 with telemetry.span(
                     "superstep:%d" % (gs.superstep + 1),
                     category="superstep",
@@ -196,9 +227,10 @@ class PregelixDriver:
                             checkpointer.checkpoint_plan(gs.superstep)
                         )
                         checkpointer.save_gs(gs.superstep)
-            except JobFailure as failure:
+            except (JobFailure, SchedulingError) as failure:
+                failure = self._classify_failure(failure, generator)
                 if not failures.is_recoverable(failure):
-                    raise
+                    raise failure
                 failures.record(failure)
                 with telemetry.span(
                     "recovery", category="recovery", run_id=generator.run_id
@@ -253,19 +285,54 @@ class PregelixDriver:
             messages=record.messages_sent,
         )
 
+    def _classify_failure(self, failure, generator):
+        """Map a mid-loop error to the :class:`JobFailure` it stands for.
+
+        A :class:`SchedulingError` after a machine died between jobs is
+        the same machine interruption the paper recovers from — the
+        sticky partition map pins operators to a node that no longer
+        exists — so attribute it to the first dead pinned machine. Any
+        other scheduling problem is a real bug and propagates.
+        """
+        if isinstance(failure, JobFailure):
+            return failure
+        alive = set(self.cluster.alive_node_ids())
+        dead = [loc for loc in generator.partition_map.locations if loc not in alive]
+        if dead:
+            return JobFailure(str(failure), cause=WorkerFailure(dead[0]))
+        raise failure
+
     def _recover(self, job, generator, checkpointer, failures):
-        """Reload the latest checkpoint onto the surviving machines."""
+        """Reload the latest checkpoint onto the surviving machines.
+
+        Recovery itself may be hit by another recoverable failure (a
+        second machine dies, or a fault fires during the restore plan);
+        each such loss blacklists the machine and recovery restarts on
+        the remaining survivors.
+        """
         superstep = checkpointer.latest_checkpoint()
         if superstep is None:
             raise CheckpointNotFound(
                 "worker failed and no checkpoint exists for %s" % generator.run_id
             )
-        healthy = failures.healthy_nodes()
-        new_map = PartitionMap(
-            [healthy[i % len(healthy)] for i in range(generator.partition_map.num_partitions)]
-        )
-        new_generator = PlanGenerator(job, self.dfs, generator.run_id, new_map)
-        self.cluster.execute(checkpointer.recovery_plan(superstep, new_generator))
+        while True:
+            healthy = failures.healthy_nodes()
+            if not healthy:
+                raise JobFailure(
+                    "no healthy machines left to recover %s" % generator.run_id
+                )
+            new_map = PartitionMap(
+                [healthy[i % len(healthy)] for i in range(generator.partition_map.num_partitions)]
+            )
+            new_generator = PlanGenerator(job, self.dfs, generator.run_id, new_map)
+            try:
+                self.cluster.execute(checkpointer.recovery_plan(superstep, new_generator))
+            except JobFailure as failure:
+                if not failures.is_recoverable(failure):
+                    raise
+                failures.record(failure)
+                continue
+            break
         gs = checkpointer.restore_gs(superstep)
         return gs, new_generator
 

@@ -44,11 +44,12 @@ def chrome_trace_events(telemetry):
         if args:
             begin["args"] = args
         end = dict(common, ph="E", ts=_us(span.end, timebase))
-        # Sort keys enforce well-formed nesting on timestamp ties: ends
-        # before begins, inner ends before outer ends, outer begins
-        # before inner begins.
-        raw.append(((begin["ts"], 1, span.depth), begin))
-        raw.append(((end["ts"], 0, -span.depth), end))
+        # Microsecond rounding collapses sub-microsecond spans, so ties
+        # on the integer ts are broken by the exact perf_counter stamps
+        # (strictly ordered per thread), keeping per-tid nesting
+        # well-formed; a span's B precedes its own E even at an exact tie.
+        raw.append(((begin["ts"], span.start, 0), begin))
+        raw.append(((end["ts"], span.end, 1), end))
     for event in telemetry.events:
         instant = {
             "name": event.name,
@@ -61,7 +62,7 @@ def chrome_trace_events(telemetry):
         }
         if event.args:
             instant["args"] = dict(event.args)
-        raw.append(((instant["ts"], 0, 0), instant))
+        raw.append(((instant["ts"], event.ts, 0), instant))
     raw.sort(key=lambda pair: pair[0])
     return [payload for _key, payload in raw]
 

@@ -1,4 +1,4 @@
-"""Shared fixtures: node-local storage plumbing and small graphs."""
+"""Shared fixtures: node-local storage plumbing, graphs, and chaos tools."""
 
 import pytest
 
@@ -24,3 +24,49 @@ def buffer_cache(file_manager):
 def tiny_buffer_cache(file_manager):
     """A cache that can only hold a few pages, forcing eviction/spill."""
     return BufferCache(capacity_bytes=4096 * 3, page_size=4096, file_manager=file_manager)
+
+
+# ---------------------------------------------------------------------
+# chaos harness (repro.chaos)
+# ---------------------------------------------------------------------
+@pytest.fixture
+def chaos_graph():
+    """The small BTC-style graph the chaos suites share."""
+    from repro.graphs.generators import btc_graph
+
+    return list(btc_graph(80, seed=3))
+
+
+@pytest.fixture
+def differential_checker(chaos_graph):
+    """``differential_checker("sssp")`` -> a ready DifferentialChecker."""
+    from repro.chaos import DifferentialChecker
+
+    def make(algorithm, **kwargs):
+        kwargs.setdefault("num_nodes", 3)
+        return DifferentialChecker(algorithm, chaos_graph, **kwargs)
+
+    return make
+
+
+@pytest.fixture
+def fault_injector():
+    """``fault_injector(cluster, seed=7)`` -> an armed FaultInjector.
+
+    Detaches automatically at teardown so one test's faults can never
+    leak into another test's cluster use.
+    """
+    from repro.chaos import FaultInjector, FaultPlan
+
+    injectors = []
+
+    def arm(cluster, seed=7, plan=None, **plan_kwargs):
+        if plan is None:
+            plan = FaultPlan.random(seed, cluster.node_ids(), **plan_kwargs)
+        injector = FaultInjector(plan).attach(cluster)
+        injectors.append(injector)
+        return injector
+
+    yield arm
+    for injector in injectors:
+        injector.detach()

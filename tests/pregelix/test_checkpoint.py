@@ -3,12 +3,18 @@
 import pytest
 
 from repro.algorithms import pagerank, sssp
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec
 from repro.common.errors import CheckpointNotFound, JobFailure
 from repro.graphs.generators import btc_graph
 from repro.graphs.io import write_graph_to_dfs
 from repro.hdfs import MiniDFS
 from repro.hyracks.engine import HyracksCluster
-from repro.pregelix import JoinStrategy, PregelixDriver
+from repro.pregelix import (
+    ConnectorPolicy,
+    GroupByStrategy,
+    JoinStrategy,
+    PregelixDriver,
+)
 from repro.pregelix.checkpoint import Checkpointer, iter_pairs, pack_pairs
 from repro.pregelix.physical import PartitionMap, PlanGenerator
 
@@ -133,6 +139,63 @@ class TestRecovery:
         assert checkpointer.latest_checkpoint() == 4
         driver.cleanup(outcome.generator)
 
+class TestKillRecoveryAcrossGroupBys:
+    """A mid-superstep machine kill must recover under every group-by.
+
+    The paper's four group-by strategies (sender group-by x connector
+    policy) buffer in-flight messages differently; recovery must replay
+    to the identical fault-free answer for all of them. The kill is
+    driven by the chaos injector so it lands *inside* a superstep plan
+    (at an operator-clone open), not between supersteps.
+    """
+
+    @pytest.mark.parametrize(
+        "groupby,connector",
+        [
+            (GroupByStrategy.SORT, ConnectorPolicy.UNMERGED),
+            (GroupByStrategy.SORT, ConnectorPolicy.MERGED),
+            (GroupByStrategy.HASHSORT, ConnectorPolicy.UNMERGED),
+            (GroupByStrategy.HASHSORT, ConnectorPolicy.MERGED),
+        ],
+    )
+    def test_mid_superstep_kill_recovers(
+        self, env, tmp_path_factory, groupby, connector
+    ):
+        cluster, dfs, driver = env
+        expected = run_reference(
+            tmp_path_factory,
+            lambda: pagerank.build_job(
+                iterations=6, groupby_strategy=groupby, connector_policy=connector
+            ),
+        )
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="operator.open",
+                    action="kill",
+                    node="node1",
+                    at_hit=3,
+                    min_superstep=3,
+                )
+            ]
+        )
+        injector = FaultInjector(plan).attach(cluster)
+        job = pagerank.build_job(
+            iterations=6,
+            checkpoint_interval=1,
+            groupby_strategy=groupby,
+            connector_policy=connector,
+        )
+        outcome = driver.run(job, "/in/g", output_path="/out/kill")
+        assert outcome.recoveries >= 1
+        assert [f.action for f in injector.fired] == ["kill"]
+        assert injector.fired[0].node == "node1"
+        assert "node1" not in cluster.alive_node_ids()
+        assert sorted(driver.read_output("/out/kill")) == expected
+        injector.detach()
+
+
+class TestRecoveryPartitionMap:
     def test_recovery_replaces_partition_map(self, env):
         cluster, dfs, driver = env
         cluster.nodes["node1"].inject_failure(after_tasks=40)

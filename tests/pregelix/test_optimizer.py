@@ -141,6 +141,52 @@ class TestEndToEnd:
             driver.read_output("/out/static")
         )
 
+    def test_switches_fire_on_sparsifying_frontier(self, driver, dfs):
+        """SSSP on a chain sparsifies to a 1-vertex frontier; the trace
+        must report the superstep of the FOJ->LOJ flip via switches()."""
+        write_graph_to_dfs(dfs, "/in/sw", chain_graph(60), num_files=3)
+        job = sssp.build_job(
+            source_id=0, join_strategy=JoinStrategy.FULL_OUTER, auto_optimize=True
+        )
+        outcome = driver.run(job, "/in/sw")
+        trace = outcome.stats.optimizer_trace
+        switches = trace.switches()
+        assert switches, "optimizer never switched join strategy"
+        first = switches[0]
+        # The flip happens after at least one observed superstep and is
+        # consistent with the recorded decisions around it.
+        assert first >= 2
+        assert trace.decisions[first - 2].join_strategy == JoinStrategy.FULL_OUTER
+        assert trace.decisions[first - 1].join_strategy == JoinStrategy.LEFT_OUTER
+        # The flip is also visible in the telemetry replan events.
+        replans = driver.telemetry.events.snapshot(name="optimizer.replan")
+        assert any(
+            e.args["join_strategy"] == JoinStrategy.LEFT_OUTER.value for e in replans
+        )
+
+    @pytest.mark.parametrize(
+        "static_join", [JoinStrategy.FULL_OUTER, JoinStrategy.LEFT_OUTER]
+    )
+    def test_optimizer_on_vs_off_identical(self, driver, dfs, static_join):
+        """Optimized SSSP must equal the static plan from either start."""
+        vertices = list(btc_graph(200, seed=11))
+        write_graph_to_dfs(dfs, "/in/oo", iter(vertices), num_files=3)
+        driver.run(
+            sssp.build_job(source_id=0, join_strategy=static_join),
+            "/in/oo",
+            output_path="/out/oo-static",
+        )
+        driver.run(
+            sssp.build_job(
+                source_id=0, join_strategy=static_join, auto_optimize=True
+            ),
+            "/in/oo",
+            output_path="/out/oo-auto",
+        )
+        assert sorted(driver.read_output("/out/oo-auto")) == sorted(
+            driver.read_output("/out/oo-static")
+        )
+
     def test_pagerank_stays_full_outer(self, driver, dfs):
         write_graph_to_dfs(dfs, "/in/web", webmap_graph(300, seed=2), num_files=3)
         job = pagerank.build_job(iterations=5, auto_optimize=True)

@@ -73,3 +73,41 @@ class TestFailureKinds:
         manager.record(failure)
         assert "node2" in manager.blacklist
         assert "node2" not in manager.healthy_nodes()
+
+
+class TestUnattributedFailures:
+    """record() must tolerate failures whose cause has no node_id."""
+
+    def test_record_without_node_id_returns_none(self, cluster):
+        from repro.common.errors import JobFailure
+
+        manager = FailureManager(cluster)
+        assert manager.record(JobFailure("boom", cause=ValueError("app bug"))) is None
+        assert manager.blacklist == set()
+        assert sorted(manager.healthy_nodes()) == sorted(cluster.alive_node_ids())
+
+    def test_record_without_cause_returns_none(self, cluster):
+        from repro.common.errors import JobFailure
+
+        manager = FailureManager(cluster)
+        assert manager.record(JobFailure("no cause at all")) is None
+        assert manager.record(ValueError("not even a JobFailure")) is None
+        assert manager.blacklist == set()
+
+    def test_unattributed_failure_emits_telemetry_event(self, cluster):
+        from repro.common.errors import JobFailure
+
+        manager = FailureManager(cluster)
+        manager.record(JobFailure("boom", cause=ValueError("app bug")))
+        events = cluster.telemetry.events.snapshot(name="failure.unattributed")
+        assert len(events) == 1
+        assert "boom" in events[0].args["error"]
+
+    def test_attributed_failure_still_blacklists(self, cluster):
+        from repro.common.errors import JobFailure
+
+        manager = FailureManager(cluster)
+        failure = JobFailure("x", cause=WorkerFailure("node1", kind="io"))
+        assert manager.record(failure) == "node1"
+        assert "node1" in manager.blacklist
+        assert not cluster.telemetry.events.snapshot(name="failure.unattributed")

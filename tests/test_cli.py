@@ -208,3 +208,58 @@ class TestExplain:
         text = "\n".join(lines)
         assert "MToNPartitioningMergingConnector" in text
         assert "ReceiverPreclusteredGroupBy" in text
+
+
+class TestChaos:
+    def test_quick_smoke_passes(self):
+        code, lines = run_cli(["chaos", "--quick", "--vertices", "60"])
+        assert code == 0
+        assert any(line.startswith("chaos sssp: OK") for line in lines)
+
+    def test_single_cell_reproduction_command_shape(self):
+        code, lines = run_cli(
+            [
+                "chaos",
+                "--algorithm", "cc",
+                "--plans", "loj/hashsort/unmerged/lsm",
+                "--budgets", "spill",
+                "--fault-seed", "7",
+                "--vertices", "60",
+            ]
+        )
+        assert code == 0
+        assert any("chaos cc: OK" in line for line in lines)
+
+    def test_show_schedule_prints_fault_plan(self):
+        code, lines = run_cli(
+            [
+                "chaos",
+                "--quick",
+                "--vertices", "60",
+                "--show-schedule",
+                "--fault-seed", "9",
+            ]
+        )
+        assert code == 0
+        assert any("fault plan (seed=9" in line for line in lines)
+
+    def test_no_faults_runs_single_schedule(self):
+        code, lines = run_cli(
+            [
+                "chaos",
+                "--algorithm", "sssp",
+                "--plans", "foj/sort/unmerged/btree",
+                "--budgets", "roomy",
+                "--no-faults",
+                "--vertices", "60",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        # verbose mode prints the one cell, then the OK summary
+        assert any("budget=roomy" in line for line in lines)
+        assert any("1 plans x 1 budgets x 1 schedules" in line for line in lines)
+
+    def test_bad_plan_signature_rejected(self):
+        with pytest.raises(ValueError):
+            run_cli(["chaos", "--plans", "bogus"])

@@ -30,8 +30,11 @@ from repro.chaos.differential import (
     values_close,
 )
 from repro.chaos.faults import (
+    CORE_ACTIONS,
     FAULT_ACTIONS,
     FAULT_SITES,
+    MUTATION_ACTIONS,
+    TRANSIENT_SITES,
     ChaosError,
     FaultInjector,
     FaultPlan,
@@ -42,8 +45,11 @@ from repro.chaos.faults import (
 from repro.chaos.reference import AlgorithmCase, algorithm_case, algorithm_names
 
 __all__ = [
+    "CORE_ACTIONS",
     "FAULT_ACTIONS",
     "FAULT_SITES",
+    "MUTATION_ACTIONS",
+    "TRANSIENT_SITES",
     "AlgorithmCase",
     "BUDGETS",
     "BudgetProfile",

@@ -132,6 +132,7 @@ class CellResult:
     plan: PlanChoice
     budget: str
     fault_seed: object  # int seed or None for the fault-free schedule
+    fault_actions: tuple = None  # action pool the schedule drew from
     lines: tuple = None
     recoveries: int = 0
     faults_fired: int = 0
@@ -150,6 +151,8 @@ class CellResult:
         ]
         if self.fault_seed is not None:
             parts.append("--fault-seed %d" % self.fault_seed)
+        if self.fault_actions is not None:
+            parts.append("--actions %s" % ",".join(self.fault_actions))
         return " ".join(parts)
 
     def describe(self):
@@ -206,6 +209,9 @@ class DifferentialChecker:
     :param num_faults: faults per seeded schedule.
     :param checkpoint_interval: checkpoint cadence for faulted cells
         (1 guarantees every fault armed from superstep 2 is recoverable).
+    :param fault_actions: action pool seeded schedules draw from
+        (``None`` = the core pool; pass e.g. ``("corrupt",
+        "transient_io")`` to exercise the durable-recovery surface).
     """
 
     def __init__(
@@ -216,6 +222,7 @@ class DifferentialChecker:
         num_faults=2,
         checkpoint_interval=1,
         algorithm_params=None,
+        fault_actions=None,
     ):
         from repro.chaos.reference import algorithm_case
 
@@ -225,12 +232,18 @@ class DifferentialChecker:
         self.num_nodes = num_nodes
         self.num_faults = num_faults
         self.checkpoint_interval = checkpoint_interval
+        self.fault_actions = tuple(fault_actions) if fault_actions else None
 
     # ------------------------------------------------------------------
     # one cell
     # ------------------------------------------------------------------
-    def run_cell(self, plan, budget="roomy", fault_seed=None, root_dir=None):
-        """Run one full Pregelix job under one matrix configuration."""
+    def run_cell(self, plan, budget="roomy", fault_seed=None, root_dir=None, fault_plan=None):
+        """Run one full Pregelix job under one matrix configuration.
+
+        ``fault_plan`` overrides the seeded schedule with an explicit
+        :class:`~repro.chaos.faults.FaultPlan` (used by targeted
+        durability tests that need a specific fault at a specific site).
+        """
         from repro.hdfs import MiniDFS
         from repro.hyracks.engine import HyracksCluster
         from repro.pregelix.runtime import PregelixDriver
@@ -247,6 +260,7 @@ class DifferentialChecker:
             plan=plan,
             budget=profile.name,
             fault_seed=fault_seed,
+            fault_actions=self.fault_actions if fault_seed is not None else None,
         )
         injector = None
         try:
@@ -258,12 +272,17 @@ class DifferentialChecker:
             )
             job = plan.apply(self.case.build_job())
             job.groupby_memory_bytes = profile.groupby_memory_bytes
-            if fault_seed is not None:
+            if fault_plan is not None or fault_seed is not None:
                 job.checkpoint_interval = self.checkpoint_interval
-                schedule = FaultPlan.random(
-                    fault_seed, cluster.node_ids(), num_faults=self.num_faults
-                )
-                injector = FaultInjector(schedule).attach(cluster)
+                schedule = fault_plan
+                if schedule is None:
+                    schedule = FaultPlan.random(
+                        fault_seed,
+                        cluster.node_ids(),
+                        num_faults=self.num_faults,
+                        actions=self.fault_actions,
+                    )
+                injector = FaultInjector(schedule).attach(cluster, dfs=dfs)
             driver = PregelixDriver(cluster, dfs)
             outcome = driver.run(
                 job,

@@ -33,7 +33,7 @@ cluster, or advances the simulated clock for a delay.
 import random
 from dataclasses import dataclass, field
 
-from repro.common.errors import JobFailure, ReproError, WorkerFailure
+from repro.common.errors import JobFailure, ReproError, TransientIOError, WorkerFailure
 
 #: The fault-point taxonomy: every named place a fault can fire.
 FAULT_SITES = (
@@ -49,16 +49,35 @@ FAULT_SITES = (
     "page.write",
     # checkpoint level: writing a Vertex/Msg/Vid blob to HDFS
     "checkpoint.write",
+    # DFS level: any MiniDFS.write (GS primary copy, checkpoint blobs,
+    # the checkpoint manifest) — the durable-recovery fault surface
+    "dfs.write",
 )
 
-#: What a fired fault does.
-FAULT_ACTIONS = (
+#: The original action set seeded schedules are drawn from by default.
+#: Kept separate from FAULT_ACTIONS so pre-existing seeds replay the
+#: exact same schedules after new actions were added.
+CORE_ACTIONS = (
     "interruption",  # raise WorkerFailure(kind="interruption") at the site
     "io",            # raise WorkerFailure(kind="io") at the site
     "kill",          # power off a machine (possibly another node) mid-job
     "delay",         # slow the node: advance the sim clock, no failure
 )
 
+#: What a fired fault does.
+FAULT_ACTIONS = CORE_ACTIONS + (
+    "transient_io",  # raise TransientIOError: retryable-in-place with backoff
+    "corrupt",       # let the write land, then flip stored bits (stale CRC)
+    "torn_write",    # let the write land, then truncate to a clean prefix
+)
+
+#: Actions that damage stored bytes instead of raising; only meaningful
+#: where MiniDFS applies them.
+MUTATION_ACTIONS = ("corrupt", "torn_write")
+
+#: Sites transient faults may target: both are idempotent to re-execute,
+#: so a retry-with-backoff wrapper can safely absorb them.
+TRANSIENT_SITES = ("dfs.write", "superstep.begin")
 
 class ChaosError(ReproError):
     """A fault plan or injector was configured inconsistently."""
@@ -97,6 +116,16 @@ class FaultSpec:
             raise ChaosError("unknown fault action %r (choose from %r)" % (self.action, FAULT_ACTIONS))
         if self.at_hit < 1:
             raise ChaosError("at_hit is 1-based and must be >= 1")
+        if self.action in MUTATION_ACTIONS and self.site != "dfs.write":
+            raise ChaosError(
+                "%r only makes sense at the dfs.write site, not %r"
+                % (self.action, self.site)
+            )
+        if self.action == "transient_io" and self.site not in TRANSIENT_SITES:
+            raise ChaosError(
+                "transient_io is only retry-safe at %r, not %r"
+                % (TRANSIENT_SITES, self.site)
+            )
 
     def describe(self):
         target = self.node or "any-node"
@@ -159,8 +188,12 @@ class FaultPlan:
         node_ids = list(node_ids)
         if not node_ids:
             raise ChaosError("fault plan needs at least one node id")
-        sites = list(sites if sites is not None else FAULT_SITES[1:])  # node-attributed sites
-        actions = list(actions if actions is not None else FAULT_ACTIONS)
+        sites = list(
+            sites
+            if sites is not None
+            else [s for s in FAULT_SITES[1:] if s != "dfs.write"]
+        )  # node-attributed engine/storage sites
+        actions = list(actions if actions is not None else CORE_ACTIONS)
         if max_kills is None:
             max_kills = max(len(node_ids) - 2, 0)
         rng = random.Random(seed)
@@ -169,7 +202,11 @@ class FaultPlan:
         for _ in range(num_faults):
             site = rng.choice(sites)
             action = rng.choice(actions)
-            if action != "delay":
+            if action in MUTATION_ACTIONS:
+                site = "dfs.write"  # the only site these are meaningful at
+            elif action == "transient_io":
+                site = rng.choice(TRANSIENT_SITES)
+            elif action != "delay":
                 if lethal >= max_kills:
                     action = "delay"
                 else:
@@ -221,6 +258,7 @@ class FaultInjector:
         self.plan = plan
         self.telemetry = telemetry
         self.cluster = None
+        self.dfs = None
         self.armed = True
         self.current_superstep = 0
         self.fired = []
@@ -229,8 +267,8 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def attach(self, cluster):
-        """Install this injector on ``cluster`` and all its nodes."""
+    def attach(self, cluster, dfs=None):
+        """Install this injector on ``cluster`` (and optionally a DFS)."""
         self.cluster = cluster
         if self.telemetry is None:
             self.telemetry = getattr(cluster, "telemetry", None)
@@ -238,6 +276,9 @@ class FaultInjector:
         for node in cluster.nodes.values():
             node.fault_injector = self
             node.buffer_cache.fault_injector = self
+        if dfs is not None:
+            self.dfs = dfs
+            dfs.fault_injector = self
         if self.telemetry is not None:
             self.telemetry.event(
                 "chaos.armed",
@@ -248,13 +289,16 @@ class FaultInjector:
         return self
 
     def detach(self):
-        """Remove the injector from the attached cluster."""
+        """Remove the injector from the attached cluster (and DFS)."""
         if self.cluster is not None:
             self.cluster.fault_injector = None
             for node in self.cluster.nodes.values():
                 node.fault_injector = None
                 node.buffer_cache.fault_injector = None
             self.cluster = None
+        if self.dfs is not None:
+            self.dfs.fault_injector = None
+            self.dfs = None
         return self
 
     def disarm(self, reason=""):
@@ -280,13 +324,17 @@ class FaultInjector:
         """Site hook: fire any matching armed spec.
 
         Raises :class:`WorkerFailure` for ``interruption``/``io``
-        actions and for a ``kill`` that targets the node the check is
-        running on; a ``kill`` aimed at another machine powers it off
-        silently (its next task will observe the loss).
+        actions (:class:`TransientIOError` for ``transient_io``) and for
+        a ``kill`` that targets the node the check is running on; a
+        ``kill`` aimed at another machine powers it off silently (its
+        next task will observe the loss). Mutation actions (``corrupt``,
+        ``torn_write``) do not raise: the action name is *returned* so
+        the storage layer can apply the damage after the write lands.
         """
         if not self.armed:
-            return
+            return None
         self.checks += 1
+        mutation = None
         for index, spec in enumerate(self.plan):
             if spec.fired or spec.site != site:
                 continue
@@ -305,7 +353,10 @@ class FaultInjector:
             spec.hits += 1
             if spec.hits >= spec.at_hit:
                 spec.fired = True
-                self._fire(index, spec, node, info)
+                fired_action = self._fire(index, spec, node, info)
+                if fired_action in MUTATION_ACTIONS:
+                    mutation = fired_action
+        return mutation
 
     # ------------------------------------------------------------------
     # firing
@@ -339,7 +390,11 @@ class FaultInjector:
         if spec.action == "delay":
             if self.telemetry is not None and spec.delay_seconds:
                 self.telemetry.sim_clock.advance(spec.delay_seconds)
-            return
+            return spec.action
+        if spec.action in MUTATION_ACTIONS:
+            return spec.action  # applied by the storage layer, no raise
+        if spec.action == "transient_io":
+            raise TransientIOError(target, site=spec.site)
         if spec.action == "kill":
             if self.cluster is not None and target in self.cluster.nodes:
                 cluster_node = self.cluster.nodes[target]
@@ -347,7 +402,7 @@ class FaultInjector:
                     self.cluster.kill_node(target)
             if node is None or node == target:
                 raise WorkerFailure(target, kind="interruption")
-            return  # another machine died; this clone keeps running
+            return spec.action  # another machine died; this clone keeps running
         raise WorkerFailure(target, kind=spec.action)
 
     def _first_alive(self):

@@ -34,6 +34,24 @@ class StorageError(ReproError):
     """An access-method or buffer-cache invariant was violated."""
 
 
+class ChecksumError(StorageError):
+    """Stored bytes no longer match their block checksum (bit rot / torn
+    write / injected corruption). Carries the path and the offending
+    block indexes so verification reports can point at the damage."""
+
+    def __init__(self, path, blocks=()):
+        self.path = path
+        self.blocks = tuple(blocks)
+        super().__init__(
+            "checksum mismatch in %s (block%s %s)"
+            % (
+                path,
+                "s" if len(self.blocks) != 1 else "",
+                ", ".join(str(b) for b in self.blocks) or "?",
+            )
+        )
+
+
 class JobFailure(ReproError):
     """A submitted job failed; carries the originating cause."""
 
@@ -49,6 +67,21 @@ class WorkerFailure(ReproError):
         self.node_id = node_id
         self.kind = kind
         super().__init__("worker %s failed (%s)" % (node_id, kind))
+
+
+class TransientIOError(WorkerFailure):
+    """A transient I/O fault (flaky DFS write, brief network blip).
+
+    Unlike a machine ``interruption`` it is worth retrying in place with
+    backoff before escalating to checkpoint recovery; ``kind`` is fixed
+    to ``"transient_io"`` so the failure manager can classify it, and
+    ``site`` records where it fired (retry wrappers only re-execute
+    sites that are idempotent).
+    """
+
+    def __init__(self, node_id, site=""):
+        super().__init__(node_id, kind="transient_io")
+        self.site = site
 
 
 class CheckpointNotFound(ReproError):

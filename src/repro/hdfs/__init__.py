@@ -8,5 +8,6 @@ data locality when placing scan tasks, exactly as Section 5.7 describes.
 """
 
 from repro.hdfs.filesystem import MiniDFS, FileStatus, BlockLocation
+from repro.hdfs.retry import RetryPolicy
 
-__all__ = ["MiniDFS", "FileStatus", "BlockLocation"]
+__all__ = ["MiniDFS", "FileStatus", "BlockLocation", "RetryPolicy"]

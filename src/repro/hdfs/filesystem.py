@@ -10,8 +10,28 @@ scheduler.
 The bytes themselves are kept in memory (one process simulates the whole
 cluster); durability across *simulated* worker failures is exactly what
 checkpoint/recovery needs, because MiniDFS outlives any worker.
+
+Integrity: every block carries a CRC32 computed at write time (HDFS
+keeps per-chunk CRCs in sidecar ``.crc`` files; we keep them next to the
+block). Reads verify and raise
+:class:`~repro.common.errors.ChecksumError` on mismatch; callers that
+want a non-raising audit use :meth:`MiniDFS.verify`. The chaos hooks
+:meth:`corrupt` and :meth:`tear` damage stored state the way real
+hardware does — bit flips leave the recorded checksum stale, torn writes
+leave a self-consistent prefix — so the two failure modes are caught by
+*different* layers (block CRCs vs. checkpoint-manifest sizes).
+
+Fault injection / retry: when a
+:class:`~repro.chaos.faults.FaultInjector` is attached as
+``fault_injector``, every :meth:`write` consults the ``dfs.write`` site
+first; a ``transient_io`` fault raises
+:class:`~repro.common.errors.TransientIOError`, which the optional
+``retry_policy`` (see :class:`repro.hdfs.retry.RetryPolicy`) absorbs
+with seeded exponential backoff — the way a real HDFS client retries a
+flaky pipeline before surfacing the error.
 """
 
+import zlib
 from dataclasses import dataclass
 
 
@@ -34,11 +54,20 @@ class FileStatus:
     replication: int
 
 
+def _crc(data):
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
 class _File:
     def __init__(self, blocks, block_size, locations):
         self.blocks = blocks
         self.block_size = block_size
         self.locations = locations
+        self.checksums = [_crc(b) for b in blocks]
+        crc = 0
+        for block in blocks:
+            crc = zlib.crc32(block, crc)
+        self.crc32 = crc & 0xFFFFFFFF
 
     @property
     def length(self):
@@ -46,6 +75,14 @@ class _File:
 
     def data(self):
         return b"".join(self.blocks)
+
+    def bad_blocks(self):
+        """Indexes of blocks whose bytes no longer match their CRC."""
+        return [
+            index
+            for index, (block, crc) in enumerate(zip(self.blocks, self.checksums))
+            if _crc(block) != crc
+        ]
 
 
 class MiniDFS:
@@ -66,6 +103,12 @@ class MiniDFS:
         self.replication = min(int(replication), len(self.datanodes))
         self._files = {}
         self._next_node = 0
+        #: Optional chaos hook (see repro.chaos.faults.FaultInjector);
+        #: consulted at the ``dfs.write`` site on every write.
+        self.fault_injector = None
+        #: Optional retry wrapper around writes (duck-typed: needs a
+        #: ``call(fn, describe=...)`` method, e.g. pregelix RetryPolicy).
+        self.retry_policy = None
 
     # ------------------------------------------------------------------
     # namespace operations
@@ -91,12 +134,19 @@ class MiniDFS:
             return True
         return False
 
-    def rename(self, src, dst):
+    def rename(self, src, dst, overwrite=False):
+        """Atomically move ``src`` to ``dst``.
+
+        Like HDFS, rename is the namespace's only atomic publish
+        primitive — the checkpoint commit protocol relies on it. With
+        ``overwrite`` the destination is replaced (rename2 semantics);
+        otherwise an existing destination raises :class:`FileExistsError`.
+        """
         src = self._normalize(src)
         dst = self._normalize(dst)
         if src not in self._files:
             raise FileNotFoundError(src)
-        if dst in self._files:
+        if dst in self._files and not overwrite:
             raise FileExistsError(dst)
         self._files[dst] = self._files.pop(src)
 
@@ -114,19 +164,37 @@ class MiniDFS:
     # data operations
     # ------------------------------------------------------------------
     def write(self, path, data):
-        """Create (or replace) ``path`` with ``data`` bytes."""
+        """Create (or replace) ``path`` with ``data`` bytes.
+
+        Consults the attached fault injector first: a ``transient_io``
+        fault raises before any byte lands (and is absorbed by the
+        ``retry_policy`` when one is attached); ``corrupt`` /
+        ``torn_write`` faults let the write complete, then damage the
+        stored state the way failing hardware would.
+        """
         path = self._normalize(path)
         if isinstance(data, str):
             data = data.encode("utf-8")
+        action = self._check_write_fault(path, len(data))
         blocks = [
             bytes(data[i : i + self.block_size])
             for i in range(0, len(data), self.block_size)
         ] or [b""]
         locations = [self._place_block() for _ in blocks]
         self._files[path] = _File(blocks, self.block_size, locations)
+        if action == "corrupt":
+            self.corrupt(path)
+        elif action == "torn_write":
+            self.tear(path)
 
     def append(self, path, data):
-        """Append ``data`` to an existing file (creating it if missing)."""
+        """Append ``data`` to an existing file (creating it if missing).
+
+        The rewrite re-chunks and re-checksums the whole file; reading
+        the existing content verifies it first, so appending to a
+        corrupted file surfaces the damage instead of burying it under
+        fresh checksums.
+        """
         if isinstance(data, str):
             data = data.encode("utf-8")
         existing = b""
@@ -135,8 +203,15 @@ class MiniDFS:
         self.write(path, existing + data)
 
     def read(self, path):
-        """Full contents of ``path`` as bytes."""
-        return self._require(self._normalize(path)).data()
+        """Full contents of ``path`` as bytes (checksum-verified)."""
+        path = self._normalize(path)
+        handle = self._require(path)
+        bad = handle.bad_blocks()
+        if bad:
+            from repro.common.errors import ChecksumError
+
+            raise ChecksumError(path, bad)
+        return handle.data()
 
     def read_text(self, path):
         return self.read(path).decode("utf-8")
@@ -161,16 +236,121 @@ class MiniDFS:
 
     def read_block(self, path, index):
         """Raw bytes of one block (used by locality-aware scans)."""
-        handle = self._require(self._normalize(path))
-        return handle.blocks[index]
+        path = self._normalize(path)
+        handle = self._require(path)
+        block = handle.blocks[index]
+        if _crc(block) != handle.checksums[index]:
+            from repro.common.errors import ChecksumError
+
+            raise ChecksumError(path, [index])
+        return block
 
     def total_bytes(self, prefix=""):
         """Aggregate size of all files under ``prefix``."""
         return sum(self._files[p].length for p in self.list_files(prefix))
 
     # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def checksum(self, path):
+        """Whole-file CRC32 recorded at write time (metadata only).
+
+        Reflects what the writer handed in — exactly what a checkpoint
+        manifest wants to pin down — without touching the stored bytes,
+        so it stays cheap and never trips over later corruption.
+        """
+        return self._require(self._normalize(path)).crc32
+
+    def content_checksum(self, path):
+        """CRC32 of the bytes actually stored *now*.
+
+        Differs from :meth:`checksum` exactly when the stored state no
+        longer matches what the writer handed in — the comparison the
+        checkpoint-manifest audit uses to catch torn writes, whose
+        surviving prefix passes every per-block CRC.
+        """
+        handle = self._require(self._normalize(path))
+        crc = 0
+        for block in handle.blocks:
+            crc = zlib.crc32(block, crc)
+        return crc & 0xFFFFFFFF
+
+    def verify(self, path):
+        """Audit ``path``: list of corrupted block indexes (empty = ok)."""
+        return self._require(self._normalize(path)).bad_blocks()
+
+    def verify_tree(self, prefix=""):
+        """Audit a subtree: ``{path: [bad block indexes]}`` for damage."""
+        report = {}
+        for path in self.list_files(prefix):
+            bad = self._files[path].bad_blocks()
+            if bad:
+                report[path] = bad
+        return report
+
+    # ------------------------------------------------------------------
+    # chaos hooks (used by repro.chaos and by tests)
+    # ------------------------------------------------------------------
+    def corrupt(self, path, block=0, offset=0, flip=0x01):
+        """Flip bits in one stored block, leaving its CRC stale.
+
+        Models silent bit rot / a bad sector: the namespace still lists
+        the file at full size, but reading the block fails verification.
+        """
+        handle = self._require(self._normalize(path))
+        block = block % len(handle.blocks)
+        data = bytearray(handle.blocks[block])
+        if not data:
+            # An empty block can't hold a bit flip; fake a spurious byte.
+            data = bytearray(b"\x00")
+        offset = offset % len(data)
+        data[offset] ^= flip or 0x01
+        handle.blocks[block] = bytes(data)
+
+    def tear(self, path, keep_bytes=None):
+        """Truncate a file to a prefix, as a write torn by a crash would.
+
+        Unlike :meth:`corrupt`, the surviving prefix is internally
+        consistent (each kept block is re-checksummed), so block CRCs
+        pass. The write-time metadata (:meth:`checksum`) is preserved —
+        the namenode still records what the writer claimed — so only a
+        higher-level audit comparing it against the stored content (or
+        a manifest size check) can notice.
+        """
+        path = self._normalize(path)
+        handle = self._require(path)
+        data = handle.data()
+        if keep_bytes is None:
+            keep_bytes = len(data) // 2
+        keep_bytes = max(0, min(int(keep_bytes), len(data)))
+        kept = data[:keep_bytes]
+        blocks = [
+            bytes(kept[i : i + self.block_size])
+            for i in range(0, len(kept), self.block_size)
+        ] or [b""]
+        locations = handle.locations[: len(blocks)]
+        while len(locations) < len(blocks):
+            locations.append(self._place_block())
+        torn = _File(blocks, self.block_size, locations)
+        torn.crc32 = handle.crc32  # write-time metadata survives the tear
+        self._files[path] = torn
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _check_write_fault(self, path, num_bytes):
+        """Consult the chaos injector; returns a mutation action or None."""
+        if self.fault_injector is None:
+            return None
+        if self.retry_policy is not None:
+            return self.retry_policy.call(
+                lambda: self.fault_injector.check(
+                    "dfs.write", path=path, bytes=num_bytes
+                ),
+                describe="dfs.write %s" % path,
+            )
+        return self.fault_injector.check("dfs.write", path=path, bytes=num_bytes)
+
     def _place_block(self):
         hosts = []
         for i in range(self.replication):

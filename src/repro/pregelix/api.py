@@ -359,6 +359,7 @@ class PregelixJob:
         vertex_storage=VertexStorage.BTREE,
         groupby_memory_bytes=64 << 20,
         checkpoint_interval=None,
+        checkpoint_retain=2,
         max_supersteps=None,
         auto_optimize=False,
         config=None,
@@ -379,6 +380,9 @@ class PregelixJob:
         self.vertex_storage = vertex_storage
         self.groupby_memory_bytes = int(groupby_memory_bytes)
         self.checkpoint_interval = checkpoint_interval
+        #: Committed checkpoint generations retained by GC (minimum 2,
+        #: so a corrupted newest checkpoint leaves a verified fallback).
+        self.checkpoint_retain = int(checkpoint_retain)
         self.max_supersteps = max_supersteps
         #: When set, the driver re-optimizes the physical plan between
         #: supersteps with the cost-based optimizer (the paper's stated

@@ -1,4 +1,4 @@
-"""Checkpointing and recovery (paper Section 5.5).
+"""Checkpointing and recovery (paper Section 5.5), made durable.
 
 At user-selected superstep boundaries the driver runs a checkpoint plan
 that writes ``Vertex``, ``Msg`` (and ``Vid`` for the left-outer-join
@@ -7,20 +7,51 @@ manager reloads the latest checkpoint onto the surviving nodes with a
 recovery plan that scans the checkpointed data and bulk loads fresh
 indexes — checkpointing ``Msg`` is what lets user programs stay unaware
 of failures.
+
+The paper assumes DFS checkpoints are durable and complete; this module
+enforces it with an **atomic commit protocol**:
+
+1. every partition blob is written under a ``_tmp.`` staging prefix
+   inside the superstep directory;
+2. at commit time the staged files are renamed to their final names and
+   a ``MANIFEST`` — JSON listing every file with its size and CRC32,
+   plus the superstep and a digest of GS — is written to staging and
+   then published via ``rename``, the namespace's single atomic
+   primitive. The manifest rename *is* the commit point: a checkpoint
+   torn anywhere before it simply has no manifest and is never eligible
+   for recovery.
+
+``latest_checkpoint`` verifies manifests (existence, sizes, whole-file
+CRCs, and the DFS's own block checksums) and falls back to the newest
+checkpoint that *passes*, emitting ``checkpoint.verify_failed`` and
+``recovery.fallback`` telemetry on the way. Superseded checkpoints are
+garbage-collected after each commit, always retaining at least two
+committed generations so a corrupted newest checkpoint still leaves a
+verified fallback.
 """
 
 import io
+import json
 import struct
+import zlib
 
-from repro.common.errors import CheckpointNotFound
+from repro.common.errors import CheckpointNotFound, ChecksumError
 from repro.hyracks.job import JobSpec, OperatorDescriptor
 from repro.hyracks.operators.index_ops import get_index
 from repro.hyracks.storage.run_file import RunFileReader, RunFileWriter
-from repro.pregelix.api import JoinStrategy
 from repro.pregelix.operators import runtime_state
-from repro.pregelix.types import decode_global_state
+from repro.pregelix.types import decode_global_state, encode_global_state
 
 _FRAME = struct.Struct(">II")
+
+#: The commit marker published by rename; its presence == committed.
+MANIFEST_NAME = "MANIFEST"
+MANIFEST_VERSION = 1
+#: Staging prefix uncommitted files carry inside a superstep directory.
+STAGING_PREFIX = "_tmp."
+#: Committed checkpoint generations retained by GC (>= 2 so a corrupted
+#: newest checkpoint still leaves a verified fallback).
+MIN_RETAIN = 2
 
 
 def pack_pairs(pairs):
@@ -157,41 +188,131 @@ class MsgRestoreOperator(OperatorDescriptor):
         return {}
 
 
-class Checkpointer:
-    """Builds checkpoint and recovery plans for one Pregelix run."""
+# ---------------------------------------------------------------------
+# manifest helpers (shared by the Checkpointer and `repro checkpoints`)
+# ---------------------------------------------------------------------
+def load_manifest(dfs, directory):
+    """Parse a superstep directory's committed manifest.
 
-    def __init__(self, plan_generator, telemetry=None):
+    Raises :class:`CheckpointNotFound` when uncommitted, and surfaces
+    :class:`ChecksumError` / ``ValueError`` for a damaged manifest.
+    """
+    path = directory.rstrip("/") + "/" + MANIFEST_NAME
+    if not dfs.exists(path):
+        raise CheckpointNotFound(path)
+    return json.loads(dfs.read(path).decode("utf-8"))
+
+
+def verify_checkpoint(dfs, directory):
+    """Audit one superstep directory; returns a list of problems.
+
+    An empty list means the checkpoint is committed and intact: the
+    manifest parses, every listed file exists with the recorded size and
+    whole-file CRC32, and the DFS's own block checksums still match the
+    stored bytes.
+    """
+    directory = directory.rstrip("/")
+    try:
+        manifest = load_manifest(dfs, directory)
+    except CheckpointNotFound:
+        return ["no committed manifest"]
+    except (ChecksumError, ValueError) as error:
+        return ["manifest unreadable: %s" % error]
+    problems = []
+    files = manifest.get("files")
+    if not isinstance(files, dict) or not files:
+        return ["manifest lists no files"]
+    for name in sorted(files):
+        meta = files[name]
+        path = directory + "/" + name
+        if not dfs.exists(path):
+            problems.append("%s: missing" % name)
+            continue
+        status = dfs.status(path)
+        if status.length != meta.get("size"):
+            problems.append(
+                "%s: size %d != manifest %s (torn write?)"
+                % (name, status.length, meta.get("size"))
+            )
+            continue
+        bad_blocks = dfs.verify(path)
+        if bad_blocks:
+            problems.append(
+                "%s: block checksum mismatch (block %s)"
+                % (name, ", ".join(str(b) for b in bad_blocks))
+            )
+            continue
+        if dfs.content_checksum(path) != meta.get("crc32"):
+            # Stored bytes no longer match what the writer handed in —
+            # the signature of a torn write, whose consistent prefix
+            # passes every per-block CRC.
+            problems.append("%s: stored content crc32 differs from manifest" % name)
+    if "gs" not in files:
+        problems.append("manifest carries no gs entry")
+    return problems
+
+
+class Checkpointer:
+    """Builds checkpoint and recovery plans for one Pregelix run.
+
+    :param retry: optional :class:`~repro.pregelix.failure.RetryPolicy`
+        advanced around driver-side DFS reads during commit (partition
+        blob writes already retry inside :class:`~repro.hdfs.MiniDFS`).
+    :param retain: committed checkpoint generations kept by GC; clamped
+        to at least :data:`MIN_RETAIN` so fallback always has a target.
+    """
+
+    def __init__(self, plan_generator, telemetry=None, retry=None, retain=MIN_RETAIN):
         self.generator = plan_generator
         self.dfs = plan_generator.dfs
         self.job = plan_generator.job
         self.run_id = plan_generator.run_id
         self.telemetry = telemetry
+        self.retry = retry
+        self.retain = max(int(retain), MIN_RETAIN)
 
     def root(self):
         return "/pregelix/%s/ckpt" % self.run_id
 
+    def directory(self, superstep):
+        return "%s/%06d" % (self.root(), superstep)
+
     def path(self, superstep, what, partition=None):
-        base = "%s/%06d/%s" % (self.root(), superstep, what)
+        base = "%s/%s" % (self.directory(superstep), what)
         if partition is None:
             return base
         return "%s-p%05d" % (base, partition)
 
+    def staging_path(self, superstep, what, partition=None):
+        """Where a not-yet-committed checkpoint file is written."""
+        name = what if partition is None else "%s-p%05d" % (what, partition)
+        return "%s/%s%s" % (self.directory(superstep), STAGING_PREFIX, name)
+
+    def manifest_path(self, superstep):
+        return "%s/%s" % (self.directory(superstep), MANIFEST_NAME)
+
     # ------------------------------------------------------------------
     def checkpoint_plan(self, superstep):
-        """Snapshot Vertex, Msg (and Vid) for ``superstep`` into HDFS."""
+        """Snapshot Vertex, Msg (and Vid) for ``superstep`` into HDFS.
+
+        Every blob lands under the staging prefix; nothing becomes
+        visible to recovery until :meth:`commit` publishes the manifest.
+        """
         generator = self.generator
         spec = JobSpec("%s-ckpt-%d" % (self.job.name, superstep))
         vertex = spec.add(
             IndexCheckpointOperator(
                 generator.vertex_index,
                 self.dfs,
-                lambda p, s=superstep: self.path(s, "vertex", p),
+                lambda p, s=superstep: self.staging_path(s, "vertex", p),
             )
         )
         vertex.partition_constraint = generator.partition_map.constraint()
         msg = spec.add(
             MsgCheckpointOperator(
-                self.run_id, self.dfs, lambda p, s=superstep: self.path(s, "msg", p)
+                self.run_id,
+                self.dfs,
+                lambda p, s=superstep: self.staging_path(s, "msg", p),
             )
         )
         msg.partition_constraint = generator.partition_map.constraint()
@@ -200,41 +321,164 @@ class Checkpointer:
                 IndexCheckpointOperator(
                     generator.vid_index,
                     self.dfs,
-                    lambda p, s=superstep: self.path(s, "vid", p),
+                    lambda p, s=superstep: self.staging_path(s, "vid", p),
                 )
             )
             vid.partition_constraint = generator.partition_map.constraint()
         return spec
 
-    def save_gs(self, superstep):
-        """Copy the GS tuple and commit the checkpoint with a marker.
+    # ------------------------------------------------------------------
+    # the commit protocol
+    # ------------------------------------------------------------------
+    def commit(self, superstep, gs=None):
+        """Publish checkpoint ``superstep``: GS copy, manifest, rename.
 
-        The ``_SUCCESS`` marker is written last; a checkpoint torn by a
-        failure mid-write is never selected for recovery.
+        ``gs`` is the in-memory :class:`~repro.pregelix.types.GlobalState`
+        to snapshot; when omitted the primary DFS copy is read instead
+        (the in-memory tuple is preferred — it cannot have been corrupted
+        by a storage fault). The manifest rename is the single commit
+        point; everything before it is invisible to recovery. Committing
+        also garbage-collects superseded checkpoint generations.
         """
+        directory = self.directory(superstep)
+        if gs is not None:
+            gs_data = encode_global_state(self.job.gs_codec(), gs)
+        else:
+            gs_data = self._read(self.generator.gs_path)
+        self.dfs.write(self.staging_path(superstep, "gs"), gs_data)
+
+        prefix = directory + "/" + STAGING_PREFIX
+        staged = [p for p in self.dfs.list_files(directory) if p.startswith(prefix)]
+        files = {}
+        total_bytes = 0
+        for staged_path in staged:
+            name = staged_path[len(prefix):]
+            final_path = directory + "/" + name
+            self.dfs.rename(staged_path, final_path, overwrite=True)
+            status = self.dfs.status(final_path)
+            files[name] = {"size": status.length, "crc32": self.dfs.checksum(final_path)}
+            total_bytes += status.length
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "superstep": superstep,
+            "gs_crc32": zlib.crc32(gs_data) & 0xFFFFFFFF,
+            "files": files,
+        }
+        staging_manifest = directory + "/" + STAGING_PREFIX + MANIFEST_NAME
         self.dfs.write(
-            self.path(superstep, "gs"), self.dfs.read(self.generator.gs_path)
+            staging_manifest, json.dumps(manifest, sort_keys=True).encode("utf-8")
         )
-        self.dfs.write(self.path(superstep, "_SUCCESS"), b"")
+        self.dfs.rename(staging_manifest, self.manifest_path(superstep), overwrite=True)
         if self.telemetry is not None:
             self.telemetry.event(
                 "checkpoint.commit",
                 category="checkpoint",
                 run_id=self.run_id,
                 superstep=superstep,
+                files=len(files),
+                bytes=total_bytes,
             )
+        self.gc()
 
-    def latest_checkpoint(self):
-        """Most recent *committed* checkpointed superstep, or ``None``."""
+    # Backward-compatible name: "save the GS copy and commit".
+    save_gs = commit
+
+    def committed_supersteps(self):
+        """Supersteps with a published manifest, ascending (no verify)."""
         supersteps = set()
         prefix = self.root() + "/"
         for path in self.dfs.list_files(self.root()):
             remainder = path[len(prefix):]
             step, _, what = remainder.partition("/")
-            if step.isdigit() and what == "_SUCCESS":
+            if step.isdigit() and what == MANIFEST_NAME:
                 supersteps.add(int(step))
-        return max(supersteps) if supersteps else None
+        return sorted(supersteps)
 
+    def superstep_directories(self):
+        """Every superstep directory present, committed or not."""
+        supersteps = set()
+        prefix = self.root() + "/"
+        for path in self.dfs.list_files(self.root()):
+            step = path[len(prefix):].partition("/")[0]
+            if step.isdigit():
+                supersteps.add(int(step))
+        return sorted(supersteps)
+
+    def verify(self, superstep):
+        """Problems with checkpoint ``superstep`` (empty list = intact)."""
+        problems = verify_checkpoint(self.dfs, self.directory(superstep))
+        if not problems:
+            try:
+                manifest = load_manifest(self.dfs, self.directory(superstep))
+            except (CheckpointNotFound, ChecksumError, ValueError):
+                return ["manifest vanished during verification"]
+            if manifest.get("superstep") != superstep:
+                problems.append(
+                    "manifest says superstep %s, directory says %d"
+                    % (manifest.get("superstep"), superstep)
+                )
+        return problems
+
+    def latest_checkpoint(self):
+        """Most recent *committed and verified* superstep, or ``None``.
+
+        Superstep directories without a published manifest are never
+        considered; committed checkpoints that fail verification are
+        reported (``checkpoint.verify_failed``) and skipped, falling
+        back to the newest generation that passes
+        (``recovery.fallback``).
+        """
+        candidates = self.committed_supersteps()
+        newest = candidates[-1] if candidates else None
+        for superstep in reversed(candidates):
+            problems = self.verify(superstep)
+            if not problems:
+                if superstep != newest and self.telemetry is not None:
+                    self.telemetry.event(
+                        "recovery.fallback",
+                        category="checkpoint",
+                        run_id=self.run_id,
+                        superstep=superstep,
+                        skipped=newest - superstep,
+                    )
+                return superstep
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "checkpoint.verify_failed",
+                    category="checkpoint",
+                    run_id=self.run_id,
+                    superstep=superstep,
+                    problems=len(problems),
+                    first_problem=problems[0],
+                )
+        return None
+
+    def gc(self):
+        """Drop superseded checkpoint generations and aborted staging.
+
+        Keeps the newest ``retain`` *committed* generations; any other
+        superstep directory — older commits and uncommitted wreckage
+        from aborted attempts alike — is deleted recursively.
+        """
+        committed = self.committed_supersteps()
+        keep = set(committed[-self.retain:])
+        removed = []
+        for superstep in self.superstep_directories():
+            if superstep in keep:
+                continue
+            self.dfs.delete(self.directory(superstep), recursive=True)
+            removed.append(superstep)
+        if removed and self.telemetry is not None:
+            self.telemetry.event(
+                "checkpoint.gc",
+                category="checkpoint",
+                run_id=self.run_id,
+                removed=removed,
+                kept=sorted(keep),
+            )
+
+    # ------------------------------------------------------------------
     def recovery_plan(self, superstep, new_generator):
         """Reload checkpoint ``superstep`` onto the surviving nodes.
 
@@ -279,6 +523,14 @@ class Checkpointer:
         if not self.dfs.exists(path):
             raise CheckpointNotFound(path)
         # Also restore it as the primary copy.
-        data = self.dfs.read(path)
+        data = self._read(path)
         self.dfs.write(self.generator.gs_path, data)
         return decode_global_state(self.job.gs_codec(), data)
+
+    def _read(self, path):
+        """A driver-side DFS read, retried when a policy is attached."""
+        if self.retry is not None:
+            return self.retry.call(
+                lambda: self.dfs.read(path), describe="checkpoint.read %s" % path
+            )
+        return self.dfs.read(path)

@@ -3,12 +3,41 @@
 Analyzes job failures: machine interruptions and I/O errors are
 recoverable (the node is blacklisted and the driver replays from the
 latest checkpoint); application exceptions are forwarded to the user.
+
+Beyond the paper's binary recoverable/fatal split, the manager
+**classifies** failures three ways: transient faults (a flaky DFS write)
+are distinguished from permanent-but-recoverable machine losses and from
+application bugs. Transients are first absorbed in place by the
+infrastructure's :class:`~repro.hdfs.retry.RetryPolicy` (seeded
+exponential backoff); only exhausted ones reach this manager, and they
+trigger checkpoint replay *without* blacklisting anybody — the machine
+is healthy, its I/O path was flaky. Liveness comes from the engine's
+:class:`~repro.hyracks.heartbeat.HeartbeatMonitor`; the driver reports
+machines it declares dead through :meth:`FailureManager.suspect`.
 """
 
-from repro.common.errors import JobFailure, WorkerFailure
+from repro.common.errors import JobFailure
+from repro.hdfs.retry import RetryPolicy, failure_cause, is_transient
+from repro.hyracks.heartbeat import HeartbeatMonitor
 
-#: Failure kinds the manager will try to recover from.
-RECOVERABLE_KINDS = ("interruption", "io")
+__all__ = [
+    "FATAL",
+    "RECOVERABLE",
+    "RECOVERABLE_KINDS",
+    "TRANSIENT",
+    "FailureManager",
+    "HeartbeatMonitor",
+    "RetryPolicy",
+    "failure_cause",
+    "is_transient",
+]
+
+#: Failure kinds the manager will try to recover from. ``transient_io``
+#: reaches the recovery path only after in-place retries are exhausted.
+RECOVERABLE_KINDS = ("interruption", "io", "transient_io")
+
+#: Classification buckets (see FailureManager.classify).
+TRANSIENT, RECOVERABLE, FATAL = "transient", "recoverable", "fatal"
 
 
 class FailureManager:
@@ -22,12 +51,26 @@ class FailureManager:
         )
         self.blacklist = set()
 
+    def classify(self, failure):
+        """``transient`` / ``recoverable`` / ``fatal`` for ``failure``.
+
+        Transient faults deserve in-place retry with backoff; recoverable
+        ones (machine interruptions, disk I/O errors, and transients that
+        exhausted their retries) warrant checkpoint replay; everything
+        else is an application error forwarded to the user.
+        """
+        if is_transient(failure):
+            return TRANSIENT
+        cause = failure_cause(failure)
+        if cause is not None and cause.kind in RECOVERABLE_KINDS:
+            return RECOVERABLE
+        return FATAL
+
     def is_recoverable(self, failure):
         """Whether ``failure`` warrants checkpoint recovery."""
         if not isinstance(failure, JobFailure):
             return False
-        cause = failure.cause
-        return isinstance(cause, WorkerFailure) and cause.kind in RECOVERABLE_KINDS
+        return self.classify(failure) in (TRANSIENT, RECOVERABLE)
 
     def record(self, failure):
         """Blacklist the failed machine; returns its node id.
@@ -35,16 +78,30 @@ class FailureManager:
         Failures whose cause carries no ``node_id`` (e.g. application
         exceptions that slipped past classification) cannot blacklist a
         machine: they are logged as unattributed and ``None`` is
-        returned instead of raising.
+        returned instead of raising. Exhausted transients are likewise
+        not blamed on a machine — the node is healthy, its I/O path was
+        flaky — so they trigger checkpoint replay without shrinking the
+        cluster.
         """
-        node_id = getattr(getattr(failure, "cause", None), "node_id", None)
+        cause = getattr(failure, "cause", None)
+        node_id = getattr(cause, "node_id", None)
+        if getattr(cause, "kind", None) == "transient_io":
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "failure.transient_exhausted",
+                    category="failure",
+                    node=node_id,
+                    site=getattr(cause, "site", ""),
+                    error=str(failure),
+                )
+            return None
         if node_id is None:
             if self.telemetry is not None:
                 self.telemetry.event(
                     "failure.unattributed",
                     category="failure",
                     error=str(failure),
-                    kind=getattr(getattr(failure, "cause", None), "kind", "unknown"),
+                    kind=getattr(cause, "kind", "unknown"),
                 )
             return None
         self.blacklist.add(node_id)
@@ -61,10 +118,35 @@ class FailureManager:
             self.telemetry.registry.counter("pregelix.failures").inc()
         return node_id
 
+    def suspect(self, node_id, reason="heartbeat"):
+        """Blacklist a machine reported dead by liveness monitoring.
+
+        Idempotent; unlike :meth:`record` there is no failure object —
+        the evidence is missed beats, not a raised task error.
+        """
+        if node_id in self.blacklist:
+            return
+        self.blacklist.add(node_id)
+        node = self.cluster.nodes.get(node_id)
+        if node is not None and node.alive:
+            self.cluster.kill_node(node_id)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "failure.blacklist",
+                category="failure",
+                node=node_id,
+                kind=reason,
+            )
+            self.telemetry.registry.counter("pregelix.failures").inc()
+
     def healthy_nodes(self):
-        """Alive, non-blacklisted machines available for recovery."""
-        return [
+        """Alive, non-blacklisted machines available for recovery.
+
+        Deterministically sorted so re-placed partition maps — and hence
+        recovered runs — are stable across runs with identical seeds.
+        """
+        return sorted(
             node_id
             for node_id in self.cluster.alive_node_ids()
             if node_id not in self.blacklist
-        ]
+        )

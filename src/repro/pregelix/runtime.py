@@ -19,7 +19,13 @@ from repro.common.errors import (
     WorkerFailure,
 )
 from repro.pregelix.checkpoint import Checkpointer
-from repro.pregelix.failure import FailureManager
+from repro.pregelix.failure import (
+    FailureManager,
+    HeartbeatMonitor,
+    RetryPolicy,
+    failure_cause,
+    is_transient,
+)
 from repro.pregelix.physical import PartitionMap, PlanGenerator
 from repro.pregelix.stats import StatisticsCollector, pregelix_sim_cost
 
@@ -158,8 +164,18 @@ class PregelixDriver:
     # ------------------------------------------------------------------
     def _superstep_loop(self, job, generator, gs):
         telemetry = self.telemetry
-        checkpointer = Checkpointer(generator, telemetry=telemetry)
+        retry = RetryPolicy(telemetry=telemetry)
+        if getattr(self.dfs, "retry_policy", None) is None:
+            # DFS-level retry absorbs transient write faults in place —
+            # the only safe layer to retry once a plan has started
+            # mutating vertex state.
+            self.dfs.retry_policy = retry
+        retain = getattr(job, "checkpoint_retain", None) or 2
+        checkpointer = Checkpointer(
+            generator, telemetry=telemetry, retry=retry, retain=retain
+        )
         failures = FailureManager(self.cluster, telemetry=telemetry)
+        heartbeats = HeartbeatMonitor(self.cluster, telemetry=telemetry)
         stats = StatisticsCollector(registry=telemetry.registry)
         recoveries = 0
         optimizer = None
@@ -175,17 +191,23 @@ class PregelixDriver:
         injector = getattr(self.cluster, "fault_injector", None)
         while True:
             try:
-                alive = set(self.cluster.alive_node_ids())
+                # Liveness sweep: one superstep boundary is one heartbeat
+                # interval. A machine that stopped beating is blacklisted
+                # here, without waiting for a task failure or a plan-pin
+                # scheduling error to surface the loss.
+                for node_id in heartbeats.observe():
+                    failures.suspect(node_id, reason="heartbeat")
                 dead = [
                     loc
                     for loc in generator.partition_map.locations
-                    if loc not in alive
+                    if loc in heartbeats.dead
                 ]
                 if dead:
-                    # A machine was lost without surfacing a task failure
-                    # (e.g. powered off just after its last clone of the
-                    # superstep ran). Its partitions are gone; recover
-                    # before declaring the loop complete or continuing.
+                    # A pinned machine was lost without surfacing a task
+                    # failure (e.g. powered off just after its last clone
+                    # of the superstep ran). Its partitions are gone;
+                    # recover before declaring the loop complete or
+                    # continuing.
                     raise JobFailure(
                         "machine %s lost between supersteps" % dead[0],
                         cause=WorkerFailure(dead[0]),
@@ -194,14 +216,20 @@ class PregelixDriver:
                     break
                 if job.max_supersteps is not None and gs.superstep >= job.max_supersteps:
                     break
-                if injector is not None:
-                    injector.begin_superstep(gs.superstep + 1)
                 with telemetry.span(
                     "superstep:%d" % (gs.superstep + 1),
                     category="superstep",
                     run_id=generator.run_id,
                 ) as ss_span:
-                    result = self.cluster.execute(generator.superstep_plan(gs))
+                    # A transient fault at the superstep *boundary* (before
+                    # any operator has mutated vertex state) is safe to
+                    # retry whole; mid-plan transients are not, and are
+                    # handled by DFS-level retry or checkpoint replay.
+                    result = retry.call(
+                        lambda: self._attempt_superstep(injector, generator, gs),
+                        describe="superstep %d" % (gs.superstep + 1),
+                        classify=_retryable_at_boundary,
+                    )
                     gs = result.collected["gs"][0][0]
                     record = stats.record_superstep(gs.superstep, result)
                     self._advance_sim_superstep(job, record, ss_span)
@@ -226,8 +254,11 @@ class PregelixDriver:
                         self.cluster.execute(
                             checkpointer.checkpoint_plan(gs.superstep)
                         )
-                        checkpointer.save_gs(gs.superstep)
-            except (JobFailure, SchedulingError) as failure:
+                        # Commit from the in-memory GS tuple — the DFS
+                        # primary copy may have been corrupted by a
+                        # storage fault; the driver's copy cannot be.
+                        checkpointer.commit(gs.superstep, gs=gs)
+            except (JobFailure, WorkerFailure, SchedulingError) as failure:
                 failure = self._classify_failure(failure, generator)
                 if not failures.is_recoverable(failure):
                     raise failure
@@ -238,7 +269,9 @@ class PregelixDriver:
                     gs, generator = self._recover(
                         job, generator, checkpointer, failures
                     )
-                checkpointer = Checkpointer(generator, telemetry=telemetry)
+                checkpointer = Checkpointer(
+                    generator, telemetry=telemetry, retry=retry, retain=retain
+                )
                 recoveries += 1
                 telemetry.event(
                     "failure.recovered",
@@ -248,6 +281,17 @@ class PregelixDriver:
                 )
         stats.record_cluster(self.cluster)
         return gs, generator, stats, recoveries
+
+    def _attempt_superstep(self, injector, generator, gs):
+        """One try at superstep ``gs.superstep + 1``: arm faults, execute.
+
+        Kept as a unit so boundary retry re-arms the injector — a
+        one-shot ``superstep.begin`` fault consumed on attempt N must
+        not leave attempt N+1 observing a half-armed schedule.
+        """
+        if injector is not None:
+            injector.begin_superstep(gs.superstep + 1)
+        return self.cluster.execute(generator.superstep_plan(gs))
 
     # ------------------------------------------------------------------
     # telemetry helpers
@@ -296,6 +340,11 @@ class PregelixDriver:
         """
         if isinstance(failure, JobFailure):
             return failure
+        if isinstance(failure, WorkerFailure):
+            # Raised driver-side (a DFS write during checkpoint commit,
+            # or a boundary fault that exhausted its retries) — no
+            # engine wrapped it, so wrap it here.
+            return JobFailure(str(failure), cause=failure)
         alive = set(self.cluster.alive_node_ids())
         dead = [loc for loc in generator.partition_map.locations if loc not in alive]
         if dead:
@@ -359,6 +408,21 @@ class PregelixDriver:
                     if path:
                         node.files.delete_path(path)
         self.dfs.delete("/pregelix/%s" % run_id, recursive=True)
+
+
+def _retryable_at_boundary(error):
+    """Plan-level retry is safe only for pre-plan transient faults.
+
+    A transient raised at the ``superstep.begin`` site fired before any
+    operator ran, so no vertex was mutated and the whole attempt can be
+    repeated. A transient from inside the plan (a ``dfs.write`` that
+    exhausted its DFS-level retries) must NOT re-run the plan — compute
+    already happened against mutated indexes — and escalates to
+    checkpoint recovery instead.
+    """
+    if not is_transient(error):
+        return False
+    return getattr(failure_cause(error), "site", "") == "superstep.begin"
 
 
 def _sanitize(name):

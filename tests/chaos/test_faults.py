@@ -3,6 +3,7 @@
 import pytest
 
 from repro.chaos import (
+    CORE_ACTIONS,
     FAULT_ACTIONS,
     FAULT_SITES,
     ChaosError,
@@ -41,8 +42,19 @@ class TestFaultSpec:
 
     def test_taxonomy_covers_every_layer(self):
         layers = {site.split(".")[0] for site in FAULT_SITES}
-        assert layers == {"superstep", "operator", "page", "checkpoint"}
-        assert set(FAULT_ACTIONS) == {"interruption", "io", "kill", "delay"}
+        assert layers == {"superstep", "operator", "page", "checkpoint", "dfs"}
+        assert set(FAULT_ACTIONS) == {
+            "interruption",
+            "io",
+            "kill",
+            "delay",
+            "transient_io",
+            "corrupt",
+            "torn_write",
+        }
+        # Seeded schedules default to the original pool, so pre-existing
+        # seeds keep replaying the exact same schedules.
+        assert set(CORE_ACTIONS) == {"interruption", "io", "kill", "delay"}
 
 
 class TestFaultPlan:

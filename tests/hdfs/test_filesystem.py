@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ChecksumError
 from repro.hdfs import MiniDFS
 
 
@@ -55,6 +56,35 @@ class TestNamespace:
         dfs.write("/b", b"2")
         with pytest.raises(FileExistsError):
             dfs.rename("/a", "/b")
+        # Neither side is disturbed by the refused rename.
+        assert dfs.read("/a") == b"1" and dfs.read("/b") == b"2"
+
+    def test_rename_overwrite_replaces_destination(self, dfs):
+        dfs.write("/stage/MANIFEST", b"new manifest")
+        dfs.write("/final/MANIFEST", b"old manifest")
+        dfs.rename("/stage/MANIFEST", "/final/MANIFEST", overwrite=True)
+        assert dfs.read("/final/MANIFEST") == b"new manifest"
+        assert not dfs.exists("/stage/MANIFEST")
+
+    def test_rename_missing_source_raises(self, dfs):
+        with pytest.raises(FileNotFoundError):
+            dfs.rename("/ghost", "/anywhere", overwrite=True)
+
+    def test_recursive_delete_nested_checkpoint_tree(self, dfs):
+        # A checkpoint superstep dir nests blobs, a manifest, and staging
+        # debris; GC must take the whole generation in one call without
+        # touching its siblings.
+        for name in ("vertex-p00000", "msg-p00000", "MANIFEST", "_tmp.gs"):
+            dfs.write("/pregelix/run/ckpt/000002/%s" % name, b"x")
+        dfs.write("/pregelix/run/ckpt/000004/MANIFEST", b"y")
+        dfs.write("/pregelix/run/gs", b"g")
+        assert dfs.delete("/pregelix/run/ckpt/000002", recursive=True)
+        assert dfs.list_files("/pregelix/run") == [
+            "/pregelix/run/ckpt/000004/MANIFEST",
+            "/pregelix/run/gs",
+        ]
+        # Deleting an already-empty subtree reports nothing to do.
+        assert not dfs.delete("/pregelix/run/ckpt/000002", recursive=True)
 
 
 class TestBlocks:
@@ -114,3 +144,71 @@ class TestTextHelpers:
         dfs.write("/d/2", bytes(5))
         dfs.write("/other", bytes(100))
         assert dfs.total_bytes("/d") == 15
+
+
+class TestIntegrity:
+    def test_checksum_stable_across_rewrites_of_same_bytes(self, dfs):
+        dfs.write("/f", b"payload")
+        first = dfs.checksum("/f")
+        dfs.write("/f", b"payload")
+        assert dfs.checksum("/f") == first
+        dfs.write("/f", b"payloae")
+        assert dfs.checksum("/f") != first
+
+    def test_corrupt_block_fails_read_with_block_index(self, dfs):
+        dfs.write("/f", b"A" * 16 + b"B" * 16 + b"C" * 4)
+        dfs.corrupt("/f", block=1)
+        assert dfs.verify("/f") == [1]
+        with pytest.raises(ChecksumError) as exc:
+            dfs.read("/f")
+        assert exc.value.blocks == (1,)
+        # The undamaged blocks are still individually readable.
+        assert dfs.read_block("/f", 0) == b"A" * 16
+        with pytest.raises(ChecksumError):
+            dfs.read_block("/f", 1)
+
+    def test_corruption_keeps_length_but_stales_crc(self, dfs):
+        dfs.write("/f", b"x" * 20)
+        dfs.corrupt("/f")
+        assert dfs.status("/f").length == 20  # silent rot: size unchanged
+        assert dfs.verify("/f")
+
+    def test_torn_write_passes_block_crcs_but_shrinks(self, dfs):
+        dfs.write("/f", b"z" * 40)
+        intended = dfs.checksum("/f")
+        dfs.tear("/f")
+        # The surviving prefix is self-consistent: per-block CRCs pass
+        # and the file reads back cleanly, just shorter.
+        assert dfs.verify("/f") == []
+        assert dfs.read("/f") == b"z" * 20
+        assert dfs.status("/f").length == 20
+        # But the write-time metadata still records the intended bytes,
+        # so an audit comparing it to the stored content catches the tear.
+        assert dfs.checksum("/f") == intended
+        assert dfs.content_checksum("/f") != intended
+
+    def test_content_checksum_matches_metadata_when_healthy(self, dfs):
+        dfs.write("/f", b"intact bytes" * 5)
+        assert dfs.content_checksum("/f") == dfs.checksum("/f")
+
+    def test_verify_tree_reports_only_damaged_files(self, dfs):
+        dfs.write("/t/ok", b"fine")
+        dfs.write("/t/bad", b"doomed")
+        dfs.corrupt("/t/bad")
+        assert dfs.verify_tree("/t") == {"/t/bad": [0]}
+
+    def test_append_to_corrupted_file_surfaces_damage(self, dfs):
+        dfs.write("/log", b"entry-1")
+        dfs.corrupt("/log")
+        # Append re-reads the existing content, which verifies checksums;
+        # the damage must surface instead of being re-checksummed over.
+        with pytest.raises(ChecksumError):
+            dfs.append("/log", b"entry-2")
+
+    def test_append_rechecksums_healthy_file(self, dfs):
+        dfs.write("/log", b"a" * 16)
+        before = dfs.checksum("/log")
+        dfs.append("/log", b"b" * 16)
+        assert dfs.checksum("/log") != before
+        assert dfs.verify("/log") == []
+        assert dfs.read("/log") == b"a" * 16 + b"b" * 16

@@ -62,9 +62,16 @@ class TestCheckpointing:
         generator = outcome.generator
         checkpointer = Checkpointer(generator)
         assert checkpointer.latest_checkpoint() == 4
-        assert dfs.exists(checkpointer.path(2, "_SUCCESS"))
+        assert dfs.exists(checkpointer.manifest_path(2))
         assert dfs.exists(checkpointer.path(4, "vertex", 0))
         assert dfs.exists(checkpointer.path(4, "msg", 2))
+        # Commit leaves no staging debris behind.
+        assert not [
+            p for p in dfs.list_files(checkpointer.root()) if "/_tmp." in p
+        ]
+        # Every committed checkpoint passes its own audit.
+        assert checkpointer.verify(2) == []
+        assert checkpointer.verify(4) == []
         driver.cleanup(generator)
 
     def test_no_checkpoint_without_interval(self, env):
@@ -134,8 +141,9 @@ class TestRecovery:
             keep_state=True,
         )
         checkpointer = Checkpointer(outcome.generator)
-        # Simulate a torn checkpoint at superstep 6: files but no marker.
+        # Simulate a torn checkpoint at superstep 6: files but no manifest.
         dfs.write(checkpointer.path(6, "vertex", 0), b"")
+        assert 6 not in checkpointer.committed_supersteps()
         assert checkpointer.latest_checkpoint() == 4
         driver.cleanup(outcome.generator)
 

@@ -1,0 +1,215 @@
+"""Unit tests for the durability substrate: retry, heartbeats, classes."""
+
+import pytest
+
+from repro.common.errors import JobFailure, TransientIOError, WorkerFailure
+from repro.hdfs.retry import RetryPolicy, failure_cause, is_transient
+from repro.hyracks.engine import HyracksCluster
+from repro.hyracks.heartbeat import HeartbeatMonitor
+from repro.pregelix.failure import FATAL, RECOVERABLE, TRANSIENT, FailureManager
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    with HyracksCluster(num_nodes=3, root_dir=str(tmp_path / "c")) as c:
+        yield c
+
+
+class TestClassification:
+    def test_failure_cause_unwraps_job_failure(self):
+        worker = WorkerFailure("node1", kind="io")
+        assert failure_cause(JobFailure("boom", cause=worker)) is worker
+        assert failure_cause(worker) is worker
+        assert failure_cause(ValueError("app bug")) is None
+        assert failure_cause(JobFailure("no cause")) is None
+
+    def test_is_transient(self):
+        assert is_transient(TransientIOError("node0", site="dfs.write"))
+        assert is_transient(
+            JobFailure("x", cause=TransientIOError("node0", site="dfs.write"))
+        )
+        assert not is_transient(WorkerFailure("node0", kind="io"))
+        assert not is_transient(ValueError("nope"))
+
+    def test_manager_three_way_classify(self, cluster):
+        manager = FailureManager(cluster)
+        transient = JobFailure("t", cause=TransientIOError("node0"))
+        machine = JobFailure("m", cause=WorkerFailure("node1", kind="interruption"))
+        disk = JobFailure("d", cause=WorkerFailure("node1", kind="io"))
+        app = JobFailure("a", cause=WorkerFailure("node1", kind="application"))
+        assert manager.classify(transient) == TRANSIENT
+        assert manager.classify(machine) == RECOVERABLE
+        assert manager.classify(disk) == RECOVERABLE
+        assert manager.classify(app) == FATAL
+        assert manager.is_recoverable(transient)
+        assert manager.is_recoverable(machine)
+        assert not manager.is_recoverable(app)
+
+    def test_exhausted_transient_recovers_without_blacklist(self, cluster):
+        manager = FailureManager(cluster, telemetry=cluster.telemetry)
+        failure = JobFailure(
+            "flaky", cause=TransientIOError("node2", site="dfs.write")
+        )
+        assert manager.record(failure) is None
+        assert manager.blacklist == set()
+        assert "node2" in cluster.alive_node_ids()  # machine kept
+        events = cluster.telemetry.events.snapshot(name="failure.transient_exhausted")
+        assert len(events) == 1
+        assert events[0].args["site"] == "dfs.write"
+
+    def test_suspect_blacklists_and_kills_once(self, cluster):
+        manager = FailureManager(cluster, telemetry=cluster.telemetry)
+        manager.suspect("node1", reason="heartbeat")
+        manager.suspect("node1", reason="heartbeat")  # idempotent
+        assert manager.blacklist == {"node1"}
+        assert "node1" not in cluster.alive_node_ids()
+        events = cluster.telemetry.events.snapshot(name="failure.blacklist")
+        assert len(events) == 1
+        assert events[0].args["kind"] == "heartbeat"
+
+    def test_healthy_nodes_sorted(self, cluster):
+        manager = FailureManager(cluster)
+        manager.blacklist.add("node1")
+        assert manager.healthy_nodes() == ["node0", "node2"]
+        assert manager.healthy_nodes() == sorted(manager.healthy_nodes())
+
+
+class TestRetryPolicy:
+    def test_no_retry_on_success(self):
+        policy = RetryPolicy(telemetry=Telemetry())
+        calls = []
+        assert policy.call(lambda: calls.append(1) or "ok") == "ok"
+        assert policy.retries_made == 0 and policy.attempts_made == 1
+
+    def test_retries_transient_until_success(self):
+        telemetry = Telemetry()
+        policy = RetryPolicy(max_attempts=4, telemetry=telemetry)
+        state = {"left": 2}
+
+        def flaky():
+            if state["left"]:
+                state["left"] -= 1
+                raise TransientIOError("node0", site="dfs.write")
+            return "landed"
+
+        before = telemetry.sim_clock.seconds
+        assert policy.call(flaky, describe="dfs.write /f") == "landed"
+        assert policy.retries_made == 2
+        events = telemetry.events.snapshot(name="retry.attempt")
+        assert [e.args["attempt"] for e in events] == [1, 2]
+        assert all(e.args["what"] == "dfs.write /f" for e in events)
+        assert telemetry.sim_clock.seconds > before  # backoff is simulated
+
+    def test_non_transient_not_retried(self):
+        policy = RetryPolicy(telemetry=Telemetry())
+        state = {"calls": 0}
+
+        def broken():
+            state["calls"] += 1
+            raise WorkerFailure("node0", kind="io")
+
+        with pytest.raises(WorkerFailure):
+            policy.call(broken)
+        assert state["calls"] == 1
+
+    def test_exhaustion_reraises(self):
+        policy = RetryPolicy(max_attempts=3, telemetry=Telemetry())
+
+        def always():
+            raise TransientIOError("node0", site="dfs.write")
+
+        with pytest.raises(TransientIOError):
+            policy.call(always)
+        assert policy.attempts_made == 3
+        assert policy.retries_made == 2
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_seconds=0.1, multiplier=2.0, max_seconds=0.3, jitter=0.0
+        )
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff_seconds(9) == pytest.approx(0.3)
+
+    def test_backoff_deterministic_per_seed(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        c = RetryPolicy(seed=43)
+        seq_a = [a.backoff_seconds(n) for n in range(1, 5)]
+        seq_b = [b.backoff_seconds(n) for n in range(1, 5)]
+        seq_c = [c.backoff_seconds(n) for n in range(1, 5)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_custom_classifier(self):
+        policy = RetryPolicy(max_attempts=2, telemetry=Telemetry())
+        state = {"calls": 0}
+
+        def flaky_value_error():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise ValueError("retry me")
+            return "ok"
+
+        result = policy.call(
+            flaky_value_error, classify=lambda e: isinstance(e, ValueError)
+        )
+        assert result == "ok" and state["calls"] == 2
+
+
+class TestHeartbeatMonitor:
+    def test_alive_cluster_beats_quietly(self, cluster):
+        monitor = HeartbeatMonitor(cluster)
+        assert monitor.observe() == []
+        assert monitor.dead == set()
+        assert set(monitor.last_beat) == set(cluster.nodes)
+
+    def test_dead_node_declared_after_threshold(self, cluster):
+        monitor = HeartbeatMonitor(cluster, miss_threshold=2)
+        monitor.observe()
+        cluster.kill_node("node1")
+        assert monitor.observe() == []  # first miss: not declared yet
+        assert cluster.telemetry.events.snapshot(name="heartbeat.missed")
+        assert monitor.observe() == ["node1"]  # second miss: declared
+        assert monitor.dead == {"node1"}
+        dead_events = cluster.telemetry.events.snapshot(name="heartbeat.dead")
+        assert [e.args["node"] for e in dead_events] == ["node1"]
+
+    def test_declared_node_not_redeclared(self, cluster):
+        monitor = HeartbeatMonitor(cluster)
+        cluster.kill_node("node2")
+        assert monitor.observe() == ["node2"]
+        assert monitor.observe() == []  # no duplicate declarations
+
+    def test_revived_node_welcomed_back(self, cluster):
+        monitor = HeartbeatMonitor(cluster)
+        cluster.kill_node("node0")
+        assert monitor.observe() == ["node0"]
+        cluster.nodes["node0"].alive = True  # simulated restart
+        assert monitor.observe() == []
+        assert monitor.dead == set()
+        assert monitor.missed["node0"] == 0
+
+    def test_threshold_validation(self, cluster):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(cluster, miss_threshold=0)
+
+    def test_driver_blacklists_heartbeat_deaths(self, cluster):
+        """End to end: a between-superstep power loss is caught by the
+        heartbeat sweep, blacklisted, and recovered from checkpoint."""
+        from repro.algorithms import pagerank
+        from repro.graphs.generators import chain_graph
+        from repro.graphs.io import write_graph_to_dfs
+        from repro.hdfs import MiniDFS
+        from repro.pregelix import PregelixDriver
+
+        dfs = MiniDFS(datanodes=cluster.node_ids())
+        write_graph_to_dfs(dfs, "/in/g", chain_graph(12), num_files=3)
+        driver = PregelixDriver(cluster, dfs)
+        job = pagerank.build_job(iterations=6, checkpoint_interval=2)
+        cluster.nodes["node1"].inject_failure(after_tasks=40)
+        outcome = driver.run(job, "/in/g", output_path="/out/r")
+        assert outcome.recoveries >= 1
+        assert cluster.telemetry.events.snapshot(name="heartbeat.dead")

@@ -263,3 +263,54 @@ class TestChaos:
     def test_bad_plan_signature_rejected(self):
         with pytest.raises(ValueError):
             run_cli(["chaos", "--plans", "bogus"])
+
+    def test_durability_action_pool(self):
+        code, lines = run_cli(
+            [
+                "chaos",
+                "--algorithm", "sssp",
+                "--plans", "foj/sort/unmerged/btree",
+                "--budgets", "roomy",
+                "--fault-seed", "5",
+                "--actions", "corrupt,torn_write,transient_io",
+                "--vertices", "60",
+                "--show-schedule",
+            ]
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "chaos sssp: OK" in text
+        # The printed schedule draws from the requested durability pool.
+        assert any(
+            action in text for action in ("corrupt", "torn_write", "transient_io")
+        )
+
+
+class TestCheckpoints:
+    def test_verify_clean_run(self):
+        code, lines = run_cli(
+            ["checkpoints", "verify", "--vertices", "60", "--interval", "2"]
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "committed checkpoints:" in text
+        assert "VERIFIED" in text and "FAILED" not in text
+        assert "recovery would use: checkpoint" in text
+
+    @pytest.mark.parametrize("damage", ["corrupt", "tear"])
+    def test_verify_detects_injected_damage(self, damage):
+        code, lines = run_cli(
+            [
+                "checkpoints", "verify",
+                "--vertices", "60",
+                "--interval", "2",
+                "--damage", damage,
+            ]
+        )
+        assert code == 0  # exit 0 means the audit *caught* the damage
+        text = "\n".join(lines)
+        assert "injected %s" % damage in text
+        assert "FAILED" in text
+        assert "damage detection: OK" in text
+        # The damaged newest checkpoint is not the one recovery would use.
+        assert "recovery would use: checkpoint" in text

@@ -31,6 +31,7 @@ cluster, or advances the simulated clock for a delay.
 """
 
 import random
+import threading
 from dataclasses import dataclass, field
 
 from repro.common.errors import JobFailure, ReproError, TransientIOError, WorkerFailure
@@ -263,6 +264,10 @@ class FaultInjector:
         self.current_superstep = 0
         self.fired = []
         self.checks = 0
+        # Parallel clones hit sites concurrently; checks/hits/fired are
+        # read-modify-writes, so matching must be serialized or one fault
+        # could fire twice (two threads passing ``hits >= at_hit``).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # wiring
@@ -333,6 +338,10 @@ class FaultInjector:
         """
         if not self.armed:
             return None
+        with self._lock:
+            return self._check_locked(site, node, info)
+
+    def _check_locked(self, site, node, info):
         self.checks += 1
         mutation = None
         for index, spec in enumerate(self.plan):

@@ -80,6 +80,15 @@ def _add_run_arguments(parser):
     parser.add_argument("--storage", choices=["btree", "lsm"], default=None)
     parser.add_argument("--optimize", action="store_true",
                         help="enable the cost-based plan optimizer")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="partition clones run concurrently per operator "
+                             "(1 = sequential; output is bit-identical "
+                             "either way)")
+    parser.add_argument("--io-latency", type=float, default=0.0,
+                        metavar="SCALE",
+                        help="latency realism: simulated disk/network "
+                             "transfers block for cost-model seconds x "
+                             "SCALE (0 disables)")
     parser.add_argument("--checkpoint-interval", type=int, default=None)
     parser.add_argument("--stats", action="store_true",
                         help="print the per-superstep statistics table "
@@ -200,6 +209,28 @@ def build_parser():
              "CRC; tear = truncate to a clean prefix)",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="sequential-vs-parallel perf regression (BENCH_parallel.json)",
+    )
+    bench.add_argument("--out", default="BENCH_parallel.json",
+                       help="report path (JSON)")
+    bench.add_argument("--vertices", type=int, default=None,
+                       help="microbench graph size")
+    bench.add_argument("--iterations", type=int, default=None)
+    bench.add_argument("--nodes", type=int, default=None)
+    bench.add_argument("--parallel", action="append", type=int, default=None,
+                       metavar="N",
+                       help="worker count(s) to measure (repeatable; "
+                            "default: 2 and 4)")
+    bench.add_argument("--io-latency", type=float, default=None,
+                       metavar="SCALE", help="latency-realism scale")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="runs per configuration (best-of)")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="required speedup of the highest worker count "
+                            "over sequential (CI gate)")
+
     sub.add_parser("loc", help="the Section 7.6 lines-of-code comparison")
     return parser
 
@@ -286,7 +317,12 @@ def cmd_run(args, out=print):
         job.checkpoint_interval = args.checkpoint_interval
 
     telemetry = Telemetry()
-    cluster = HyracksCluster(num_nodes=args.nodes, telemetry=telemetry)
+    cluster = HyracksCluster(
+        num_nodes=args.nodes,
+        telemetry=telemetry,
+        parallelism=getattr(args, "parallel", 1),
+        io_latency_scale=getattr(args, "io_latency", 0.0),
+    )
     try:
         dfs = MiniDFS(datanodes=cluster.node_ids())
         part_files = sorted(
@@ -591,6 +627,32 @@ def cmd_checkpoints(args, out=print):
         cluster.close()
 
 
+def cmd_bench(args, out=print):
+    from repro.bench import regression
+
+    overrides = {}
+    if args.vertices is not None:
+        overrides["vertices"] = args.vertices
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.parallel is not None:
+        overrides["workers"] = tuple(args.parallel)
+    if args.io_latency is not None:
+        overrides["io_latency_scale"] = args.io_latency
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.min_speedup is not None:
+        overrides["min_speedup"] = args.min_speedup
+    report = regression.run_regression(**overrides)
+    regression.write_report(report, args.out)
+    for line in regression.summary_lines(report):
+        out(line)
+    out("report written to %s" % args.out)
+    return 0 if report["pass"] else 1
+
+
 def cmd_loc(args, out=print):
     from repro.bench.figures import section76_loc
 
@@ -615,6 +677,8 @@ def main(argv=None, out=print):
         return cmd_chaos(args, out=out)
     if args.command == "checkpoints":
         return cmd_checkpoints(args, out=out)
+    if args.command == "bench":
+        return cmd_bench(args, out=out)
     if args.command == "loc":
         return cmd_loc(args, out=out)
     return 2

@@ -31,6 +31,7 @@ with seeded exponential backoff — the way a real HDFS client retries a
 flaky pipeline before surfacing the error.
 """
 
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -103,6 +104,7 @@ class MiniDFS:
         self.replication = min(int(replication), len(self.datanodes))
         self._files = {}
         self._next_node = 0
+        self._placement_lock = threading.Lock()
         #: Optional chaos hook (see repro.chaos.faults.FaultInjector);
         #: consulted at the ``dfs.write`` site on every write.
         self.fault_injector = None
@@ -352,11 +354,15 @@ class MiniDFS:
         return self.fault_injector.check("dfs.write", path=path, bytes=num_bytes)
 
     def _place_block(self):
-        hosts = []
-        for i in range(self.replication):
-            hosts.append(self.datanodes[(self._next_node + i) % len(self.datanodes)])
-        self._next_node = (self._next_node + 1) % len(self.datanodes)
-        return hosts
+        # Concurrent writers round-robin through the same cursor; the
+        # lock keeps the advance atomic so replicas stay evenly spread.
+        with self._placement_lock:
+            start = self._next_node
+            self._next_node = (start + 1) % len(self.datanodes)
+        return [
+            self.datanodes[(start + i) % len(self.datanodes)]
+            for i in range(self.replication)
+        ]
 
     def _require(self, path):
         try:

@@ -8,21 +8,26 @@ order, one clone per partition, with connectors redistributing tuples in
 between; every clone sees only its own node's local services and storage,
 preserving the shared-nothing discipline.
 
-Substitution note (see DESIGN.md): clones run sequentially in one Python
-process rather than as JVM tasks on separate machines. All byte-level
-behaviour — budgets, spills, network volume — is accounted per node, so
+Substitution note (see DESIGN.md): clones run in one Python process
+rather than as JVM tasks on separate machines. All byte-level behaviour —
+budgets, spills, network volume — is accounted per node, so
 dataset-size-versus-RAM phenomena survive the substitution; wall-clock
-numbers are simulation-scale.
+numbers are simulation-scale. With ``parallelism > 1`` the cluster runs
+each operator's partition clones concurrently on a worker thread pool and
+routes their outputs through bounded exchanges (DESIGN.md §13); the
+result is bit-identical to the sequential run because merge/choose points
+always consume inputs in partition-id order.
 """
 
 import os
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 
 from repro.common.accounting import Counters, IOCounters, MemoryBudget
 from repro.common.errors import JobFailure, WorkerFailure
-from repro.hyracks.scheduler import Scheduler
+from repro.hyracks.scheduler import Scheduler, make_task_runner
 from repro.telemetry import Telemetry
 
 #: Default per-node RAM budget: 64 MB of simulated worker memory.
@@ -36,7 +41,7 @@ class NodeContext:
     """One shared-nothing worker: budget, local disk, cache, services."""
 
     def __init__(self, node_id, root_dir, memory_bytes, cache_bytes, page_size,
-                 telemetry=None):
+                 telemetry=None, io_latency_scale=0.0):
         from repro.hyracks.storage.buffer_cache import BufferCache
         from repro.hyracks.storage.file_manager import FileManager
 
@@ -45,7 +50,11 @@ class NodeContext:
         self.io = IOCounters()
         if telemetry is not None:
             self.io.bind(telemetry.registry, prefix="node.io", node=node_id)
-        self.files = FileManager(os.path.join(root_dir, str(node_id)), self.io)
+        self.files = FileManager(
+            os.path.join(root_dir, str(node_id)),
+            self.io,
+            latency_scale=io_latency_scale,
+        )
         self.budget = MemoryBudget(memory_bytes, name=str(node_id))
         self.buffer_cache = BufferCache(
             cache_bytes, page_size, self.files, telemetry=telemetry, node_id=node_id
@@ -55,6 +64,7 @@ class NodeContext:
         self.fault_injector = None
         self._fail_after_tasks = None
         self._failure_kind = "interruption"
+        self._failure_lock = threading.Lock()
 
     def inject_failure(self, after_tasks=0, kind="interruption"):
         """Arrange for this node to die after ``after_tasks`` more tasks.
@@ -67,14 +77,18 @@ class NodeContext:
         self._failure_kind = kind
 
     def check_failure(self):
-        if not self.alive:
-            raise WorkerFailure(self.node_id)
-        if self._fail_after_tasks is not None:
-            if self._fail_after_tasks <= 0:
-                self.alive = False
-                self._fail_after_tasks = None
-                raise WorkerFailure(self.node_id, kind=self._failure_kind)
-            self._fail_after_tasks -= 1
+        # Clones of different operators sharing this node may check
+        # concurrently; the countdown is a read-modify-write, so take the
+        # lock to fire exactly one WorkerFailure per injected failure.
+        with self._failure_lock:
+            if not self.alive:
+                raise WorkerFailure(self.node_id)
+            if self._fail_after_tasks is not None:
+                if self._fail_after_tasks <= 0:
+                    self.alive = False
+                    self._fail_after_tasks = None
+                    raise WorkerFailure(self.node_id, kind=self._failure_kind)
+                self._fail_after_tasks -= 1
 
     def reset_storage(self):
         """Wipe local state (what losing a machine loses)."""
@@ -133,7 +147,7 @@ class TaskContext:
 class JobContext:
     """Master-side per-job state shared by connectors and sinks."""
 
-    def __init__(self, name, telemetry=None):
+    def __init__(self, name, telemetry=None, io_latency_scale=0.0):
         self.name = name
         self.telemetry = telemetry
         self.io = IOCounters()  # network traffic (connector accounting)
@@ -142,6 +156,10 @@ class JobContext:
             self.io.bind(telemetry.registry, prefix="engine.network")
             self.counters.bind(telemetry.registry, prefix="engine.counters")
         self.collected = {}
+        #: >0 turns on latency realism: connectors sleep for the cost
+        #: model's transfer seconds (scaled), so parallel runs can overlap
+        #: waits the way a real cluster overlaps its NICs and disks.
+        self.io_latency_scale = float(io_latency_scale)
 
 
 class JobResult:
@@ -178,6 +196,13 @@ class HyracksCluster:
         quarter of node memory, the paper's default.
     :param partitions_per_node: data partitions per worker (the paper
         assigns one per core).
+    :param parallelism: partition clones executed concurrently per
+        operator. 1 (the default) is the historical sequential mode; any
+        larger value runs clones on a persistent worker thread pool and
+        replaces consumer-time routing with bounded exchanges.
+    :param io_latency_scale: >0 makes simulated I/O and network transfers
+        take real wall-clock time (cost-model seconds × scale) in *both*
+        modes, so sequential-vs-parallel timing comparisons are honest.
     """
 
     def __init__(
@@ -189,6 +214,8 @@ class HyracksCluster:
         root_dir=None,
         partitions_per_node=1,
         telemetry=None,
+        parallelism=1,
+        io_latency_scale=0.0,
     ):
         if buffer_cache_bytes is None:
             buffer_cache_bytes = int(node_memory_bytes * DEFAULT_CACHE_FRACTION)
@@ -198,6 +225,8 @@ class HyracksCluster:
         self.buffer_cache_bytes = int(buffer_cache_bytes)
         self.page_size = int(page_size)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.parallelism = max(int(parallelism or 1), 1)
+        self.io_latency_scale = float(io_latency_scale)
         self.nodes = OrderedDict()
         for i in range(num_nodes):
             node_id = "node%d" % i
@@ -208,8 +237,10 @@ class HyracksCluster:
                 buffer_cache_bytes,
                 page_size,
                 telemetry=self.telemetry,
+                io_latency_scale=self.io_latency_scale,
             )
         self.scheduler = Scheduler(partitions_per_node)
+        self.task_runner = make_task_runner(self.parallelism, self.telemetry)
         self.jobs_executed = 0
         #: Optional chaos hook (see repro.chaos.faults.FaultInjector).
         self.fault_injector = None
@@ -247,93 +278,89 @@ class HyracksCluster:
         """Run ``job_spec`` to completion and return a :class:`JobResult`."""
         started = time.perf_counter()
         placement = self.scheduler.place(job_spec, self.alive_node_ids())
-        job_ctx = JobContext(job_spec.name, telemetry=self.telemetry)
+        job_ctx = JobContext(
+            job_spec.name,
+            telemetry=self.telemetry,
+            io_latency_scale=self.io_latency_scale,
+        )
         disk_before = self._disk_snapshot()
         cache_before = self._cache_snapshot()
         outputs = {}
         operator_seconds = {}
-        with self.telemetry.span("job:%s" % job_spec.name, category="job"):
-            for operator in job_spec.topological_order():
-                locations = placement[operator.op_id]
-                num_partitions = len(locations)
-                input_edges = job_spec.inputs_of(operator)
-                routed_inputs = []
-                for edge in input_edges:
-                    produced = outputs.get((edge.producer.op_id, edge.port))
-                    if produced is None:
-                        raise JobFailure(
-                            "operator %r consumes unknown port %r of %r"
-                            % (operator, edge.port, edge.producer)
+        use_exchanges = self.task_runner.concurrency > 1
+        # Live exchanges for edges whose producer ran but whose consumer
+        # has not yet collected; the finally closes whatever a failure
+        # leaves behind so no drainer thread outlives the job.
+        exchanges = {}
+        try:
+            with self.telemetry.span("job:%s" % job_spec.name, category="job"):
+                for operator in job_spec.topological_order():
+                    locations = placement[operator.op_id]
+                    num_partitions = len(locations)
+                    routed_inputs = []
+                    for edge in job_spec.inputs_of(operator):
+                        exchange = exchanges.pop(id(edge), None)
+                        if exchange is not None:
+                            routed_inputs.append(exchange.collect())
+                            continue
+                        produced = outputs.get((edge.producer.op_id, edge.port))
+                        if produced is None:
+                            raise JobFailure(
+                                "operator %r consumes unknown port %r of %r"
+                                % (operator, edge.port, edge.producer)
+                            )
+                        routed_inputs.append(
+                            edge.connector.route(produced, num_partitions, job_ctx)
                         )
-                    routed_inputs.append(
-                        edge.connector.route(produced, num_partitions, job_ctx)
-                    )
-                operator.initialize(job_ctx)
-                per_port = {}
-                op_elapsed = 0.0
-                injector = self.fault_injector
-                for partition in range(num_partitions):
-                    node = self.nodes[locations[partition]]
-                    ctx = TaskContext(node, job_ctx, partition, num_partitions)
-                    clone_inputs = [routed[partition] for routed in routed_inputs]
-                    clone_started = time.perf_counter()
-                    try:
-                        node.check_failure()
-                        if injector is not None:
-                            injector.check(
-                                "operator.open",
-                                node=node.node_id,
-                                operator=operator.name,
-                                partition=partition,
+                    out_exchanges = []
+                    if use_exchanges:
+                        for edge in job_spec.outputs_of(operator):
+                            exchange = edge.connector.open_exchange(
+                                num_partitions,
+                                len(placement[edge.consumer.op_id]),
+                                job_ctx,
                             )
-                        with self.telemetry.span(
-                            operator.name,
-                            category="task",
-                            partition=partition,
-                            node=node.node_id,
-                        ):
-                            result = operator.run(ctx, partition, clone_inputs) or {}
-                        if injector is not None:
-                            # "next": output produced, not yet registered —
-                            # a fault here loses the clone's work exactly
-                            # like a crash mid-stream would.
-                            injector.check(
-                                "operator.next",
-                                node=node.node_id,
-                                operator=operator.name,
-                                partition=partition,
-                                tuples=sum(len(t) for t in result.values()),
-                            )
-                        op_elapsed += time.perf_counter() - clone_started
-                        for port, tuples in result.items():
-                            per_port.setdefault(port, {})[partition] = tuples
-                        if injector is not None:
-                            injector.check(
-                                "operator.close",
-                                node=node.node_id,
-                                operator=operator.name,
-                                partition=partition,
-                            )
-                    except WorkerFailure as failure:
-                        self.telemetry.event(
-                            "node.failure",
-                            category="failure",
-                            node=node.node_id,
-                            kind=failure.kind,
-                            operator=operator.name,
+                            exchanges[id(edge)] = exchange
+                            out_exchanges.append((edge.port, exchange))
+                    operator.initialize(job_ctx)
+                    injector = self.fault_injector
+                    tasks = [
+                        self._make_clone_task(
+                            operator,
+                            partition,
+                            self.nodes[locations[partition]],
+                            num_partitions,
+                            [routed[partition] for routed in routed_inputs],
+                            out_exchanges,
+                            job_ctx,
+                            injector,
                         )
-                        raise JobFailure(str(failure), cause=failure) from failure
-                operator.finalize(job_ctx)
-                operator_seconds[operator.name] = (
-                    operator_seconds.get(operator.name, 0.0) + op_elapsed
-                )
-                ports = set(per_port)
-                for edge in job_spec.outputs_of(operator):
-                    ports.add(edge.port)
-                for port in ports:
-                    outputs[(operator.op_id, port)] = [
-                        per_port.get(port, {}).get(p, []) for p in range(num_partitions)
+                        for partition in range(num_partitions)
                     ]
+                    outcomes = self.task_runner.map(tasks)
+                    self._raise_first_failure(outcomes, operator, locations)
+                    per_port = {}
+                    op_elapsed = 0.0
+                    for outcome in outcomes:
+                        elapsed, result = outcome.value
+                        op_elapsed += elapsed
+                        for port, tuples in result.items():
+                            per_port.setdefault(port, {})[outcome.partition] = tuples
+                    operator.finalize(job_ctx)
+                    operator_seconds[operator.name] = (
+                        operator_seconds.get(operator.name, 0.0) + op_elapsed
+                    )
+                    ports = set(per_port)
+                    for edge in job_spec.outputs_of(operator):
+                        ports.add(edge.port)
+                    for port in ports:
+                        outputs[(operator.op_id, port)] = [
+                            per_port.get(port, {}).get(p, [])
+                            for p in range(num_partitions)
+                        ]
+        finally:
+            for exchange in exchanges.values():
+                exchange.close()
         self.jobs_executed += 1
         self.telemetry.registry.counter("engine.jobs_executed").inc()
         disk_after = self._disk_snapshot()
@@ -359,6 +386,84 @@ class HyracksCluster:
             cache_writebacks=cache_after[1] - cache_before[1],
         )
 
+    def _make_clone_task(self, operator, partition, node, num_partitions,
+                         clone_inputs, out_exchanges, job_ctx, injector):
+        """One partition clone as a zero-argument callable for a runner.
+
+        Mirrors the historical sequential body: failure check, injector
+        probes at open/next/close, a task span around ``run``. In parallel
+        mode the clone additionally pushes its port outputs through the
+        operator's outgoing exchanges from its own worker thread, so
+        routing (split, byte accounting, simulated transfer latency)
+        overlaps across partitions.
+        """
+
+        def clone():
+            clone_started = time.perf_counter()
+            ctx = TaskContext(node, job_ctx, partition, num_partitions)
+            node.check_failure()
+            if injector is not None:
+                injector.check(
+                    "operator.open",
+                    node=node.node_id,
+                    operator=operator.name,
+                    partition=partition,
+                )
+            with self.telemetry.span(
+                operator.name,
+                category="task",
+                partition=partition,
+                node=node.node_id,
+            ):
+                result = operator.run(ctx, partition, clone_inputs) or {}
+            if injector is not None:
+                # "next": output produced, not yet registered — a fault
+                # here loses the clone's work exactly like a crash
+                # mid-stream would.
+                injector.check(
+                    "operator.next",
+                    node=node.node_id,
+                    operator=operator.name,
+                    partition=partition,
+                    tuples=sum(len(t) for t in result.values()),
+                )
+            elapsed = time.perf_counter() - clone_started
+            for port, exchange in out_exchanges:
+                exchange.send(partition, result.get(port, []))
+            if injector is not None:
+                injector.check(
+                    "operator.close",
+                    node=node.node_id,
+                    operator=operator.name,
+                    partition=partition,
+                )
+            return elapsed, result
+
+        return clone
+
+    def _raise_first_failure(self, outcomes, operator, locations):
+        """Surface the lowest-partition failure of one operator's clones.
+
+        Sequential runners stop at the first failure, so that outcome is
+        the only one; parallel runners let every clone settle and the
+        lowest partition id wins, keeping the surfaced error independent
+        of thread completion order.
+        """
+        for outcome in outcomes:
+            if not outcome.failed:
+                continue
+            error = outcome.error
+            if isinstance(error, WorkerFailure):
+                self.telemetry.event(
+                    "node.failure",
+                    category="failure",
+                    node=locations[outcome.partition],
+                    kind=error.kind,
+                    operator=operator.name,
+                )
+                raise JobFailure(str(error), cause=error) from error
+            raise error
+
     def _cache_snapshot(self):
         misses = 0
         writebacks = 0
@@ -379,6 +484,7 @@ class HyracksCluster:
     def close(self):
         import shutil
 
+        self.task_runner.close()
         for node in self.nodes.values():
             node.files.close()
         if self._owns_root:

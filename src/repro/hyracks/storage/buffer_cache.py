@@ -6,8 +6,21 @@ cache; when the configured byte capacity is exceeded, the least recently
 used unpinned page is evicted, written back if dirty, and transparently
 reloaded on the next pin. In-memory workloads never touch disk;
 out-of-core workloads degrade smoothly instead of failing.
+
+Thread safety (parallel execution, DESIGN.md §13): a single metadata
+latch serializes all map/LRU/pin-count bookkeeping, so concurrent
+pin/unpin/evict/spill keep the cache's invariants — one Page object per
+cached PageId, cached-bytes equals pages × page-size, no eviction of a
+pinned page, no double-eviction. Page *content* is protected separately
+by each page's own latch: mutators hold ``page.latch`` while editing
+entries, and writeback serializes the image under that latch, so a spill
+never captures a half-applied update. Lock order is metadata → page
+latch; callers must release a page latch before calling back into the
+cache (which the pin → latch → mutate → unlatch → unpin discipline of the
+access methods guarantees).
 """
 
+import threading
 from collections import OrderedDict
 
 from repro.common.errors import StorageError
@@ -29,6 +42,7 @@ class BufferCacheStats:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        self._lock = threading.Lock()
         self._mirror = None
         if registry is not None:
             self._mirror = {
@@ -37,17 +51,21 @@ class BufferCacheStats:
             }
 
     def record(self, field, amount=1):
-        setattr(self, field, getattr(self, field) + amount)
+        # getattr/setattr is a read-modify-write; without the lock two
+        # threads recording the same field can lose increments.
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
         if self._mirror is not None:
             self._mirror[field].inc(amount)
 
     def snapshot(self):
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "writebacks": self.writebacks,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "writebacks": self.writebacks,
+            }
 
 
 class BufferCache:
@@ -88,24 +106,31 @@ class BufferCache:
         self._cached_bytes = 0
         self._next_page_no = {}  # file_id -> next unallocated page number
         self._on_disk = set()  # PageIds that have an on-disk image
+        # Metadata latch: serializes map/LRU/pin-count bookkeeping under
+        # parallel execution (reentrant: _admit -> _evict_to_fit nest).
+        self._latch = threading.RLock()
 
     # ------------------------------------------------------------------
     # file lifecycle
     # ------------------------------------------------------------------
     def create_file(self, name=None):
         file_id = self.files.create_paged_file(name)
-        self._next_page_no[file_id] = 0
+        with self._latch:
+            self._next_page_no[file_id] = 0
         return file_id
 
     def delete_file(self, file_id):
-        doomed = [pid for pid in self._pages if pid.file_id == file_id]
-        for pid in doomed:
-            page = self._pages.pop(pid)
-            if page.pin_count:
-                raise StorageError("deleting file %d with pinned page %r" % (file_id, pid))
-            self._cached_bytes -= self.page_size
-        self._on_disk = {pid for pid in self._on_disk if pid.file_id != file_id}
-        self._next_page_no.pop(file_id, None)
+        with self._latch:
+            doomed = [pid for pid in self._pages if pid.file_id == file_id]
+            for pid in doomed:
+                page = self._pages.pop(pid)
+                if page.pin_count:
+                    raise StorageError(
+                        "deleting file %d with pinned page %r" % (file_id, pid)
+                    )
+                self._cached_bytes -= self.page_size
+            self._on_disk = {pid for pid in self._on_disk if pid.file_id != file_id}
+            self._next_page_no.pop(file_id, None)
         self.files.delete_paged_file(file_id)
 
     # ------------------------------------------------------------------
@@ -113,59 +138,66 @@ class BufferCache:
     # ------------------------------------------------------------------
     def new_page(self, file_id, kind):
         """Allocate a fresh pinned page in ``file_id``."""
-        if file_id not in self._next_page_no:
-            raise StorageError("unknown file id %r" % (file_id,))
-        page_no = self._next_page_no[file_id]
-        self._next_page_no[file_id] = page_no + 1
-        page = Page(PageId(file_id, page_no), kind, self.page_size)
-        page.pin_count = 1
-        page.dirty = True
-        self._admit(page)
-        return page
+        with self._latch:
+            if file_id not in self._next_page_no:
+                raise StorageError("unknown file id %r" % (file_id,))
+            page_no = self._next_page_no[file_id]
+            self._next_page_no[file_id] = page_no + 1
+            page = Page(PageId(file_id, page_no), kind, self.page_size)
+            page.pin_count = 1
+            page.dirty = True
+            self._admit(page)
+            return page
 
     def pin(self, page_id):
         """Return the page, loading it from disk on a miss; pins it."""
-        page = self._pages.get(page_id)
-        if page is not None:
-            self.stats.record("hits")
-            self._pages.move_to_end(page_id)
-            page.pin_count += 1
-        else:
-            self.stats.record("misses")
-            if self.fault_injector is not None:
-                self.fault_injector.check(
-                    "page.read",
-                    node=self.node_id,
-                    file_id=page_id.file_id,
-                    page_no=page_id.page_no,
+        with self._latch:
+            page = self._pages.get(page_id)
+            if page is not None:
+                self.stats.record("hits")
+                self._pages.move_to_end(page_id)
+                page.pin_count += 1
+            else:
+                self.stats.record("misses")
+                if self.fault_injector is not None:
+                    self.fault_injector.check(
+                        "page.read",
+                        node=self.node_id,
+                        file_id=page_id.file_id,
+                        page_no=page_id.page_no,
+                    )
+                data = self.files.read_page(
+                    page_id.file_id, page_id.page_no, self.page_size
                 )
-            data = self.files.read_page(page_id.file_id, page_id.page_no, self.page_size)
-            page = Page.from_bytes(page_id, data, self.page_size)
-            # Pin before admitting: the eviction pass a full cache runs
-            # during admission must never select the page being returned
-            # (under MRU the fresh page is the first candidate).
-            page.pin_count = 1
-            self._admit(page)
-        return page
+                page = Page.from_bytes(page_id, data, self.page_size)
+                # Pin before admitting: the eviction pass a full cache runs
+                # during admission must never select the page being returned
+                # (under MRU the fresh page is the first candidate).
+                page.pin_count = 1
+                self._admit(page)
+            return page
 
     def unpin(self, page, dirty=False):
-        if page.pin_count <= 0:
-            raise StorageError("unpin of unpinned page %r" % (page.page_id,))
-        page.pin_count -= 1
-        if dirty:
-            page.dirty = True
-        self._evict_to_fit()
+        with self._latch:
+            if page.pin_count <= 0:
+                raise StorageError("unpin of unpinned page %r" % (page.page_id,))
+            page.pin_count -= 1
+            if dirty:
+                page.dirty = True
+            self._evict_to_fit()
 
     def flush_file(self, file_id):
         """Write back every dirty cached page of ``file_id``."""
-        for pid, page in self._pages.items():
-            if pid.file_id == file_id and page.dirty:
-                self._writeback(page)
+        with self._latch:
+            for pid, page in self._pages.items():
+                if pid.file_id == file_id and page.dirty:
+                    self._writeback(page)
 
     def flush_all(self):
-        for page in self._pages.values():
-            if page.dirty:
-                self._writeback(page)
+        with self._latch:
+            for page in self._pages.values():
+                if page.dirty:
+                    self._writeback(page)
 
     @property
     def cached_bytes(self):
@@ -219,11 +251,13 @@ class BufferCache:
                 file_id=page.page_id.file_id,
                 page_no=page.page_id.page_no,
             )
+        with page.latch:  # never serialize a half-applied update
+            image = page.to_bytes()
+            page.dirty = False
         self.files.write_page(
-            page.page_id.file_id, page.page_id.page_no, page.to_bytes(), self.page_size
+            page.page_id.file_id, page.page_id.page_no, image, self.page_size
         )
         self._on_disk.add(page.page_id)
-        page.dirty = False
         self.stats.record("writebacks")
         if self.telemetry is not None:
             self.telemetry.event(

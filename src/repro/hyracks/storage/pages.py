@@ -9,6 +9,7 @@ reload them at stable offsets.
 
 import bisect
 import struct
+import threading
 from collections import namedtuple
 
 from repro.common.errors import StorageError
@@ -50,6 +51,7 @@ class Page:
         "next_page_no",
         "dirty",
         "pin_count",
+        "latch",
     )
 
     def __init__(self, page_id, kind, capacity):
@@ -61,6 +63,12 @@ class Page:
         self.next_page_no = -1
         self.dirty = False
         self.pin_count = 0
+        # Content latch for parallel execution: hold it while mutating
+        # entries; the buffer cache takes it while serializing the page
+        # for writeback so a spill never captures a half-applied update.
+        # Protocol (DESIGN.md §13): latch only while pinned, release
+        # before calling back into the cache.
+        self.latch = threading.RLock()
 
     # ------------------------------------------------------------------
     # size accounting

@@ -40,7 +40,8 @@ class RunFileWriter:
         self._flush()
         self._handle.close()
         if self.files is not None:
-            self.files.io.record_write(self.bytes_written)
+            # Through the manager so latency realism charges the spill.
+            self.files.record_run_write(self.bytes_written)
 
     def _flush(self):
         if self._buffer:
@@ -78,7 +79,7 @@ class RunFileReader:
                 total += _RECORD_HEADER.size + key_len + value_len
                 yield key, value
         if self.files is not None and total:
-            self.files.io.record_read(total)
+            self.files.record_run_read(total)
 
     def delete(self):
         if os.path.exists(self.path):

@@ -30,6 +30,18 @@ def chrome_trace_events(telemetry):
     """The sorted ``traceEvents`` list for one telemetry session."""
     timebase = _timebase(telemetry)
     raw = []
+    # Thread-name metadata first, so viewers label per-thread rows with
+    # the worker names parallel execution registered (hyx-worker-N).
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in sorted(telemetry.tracer.thread_names.items())
+    ]
     for span in telemetry.tracer.finished_spans():
         args = dict(span.args)
         if span.sim_duration is not None:
@@ -64,7 +76,7 @@ def chrome_trace_events(telemetry):
             instant["args"] = dict(event.args)
         raw.append(((instant["ts"], event.ts, 0), instant))
     raw.sort(key=lambda pair: pair[0])
-    return [payload for _key, payload in raw]
+    return metadata + [payload for _key, payload in raw]
 
 
 def chrome_trace(telemetry):

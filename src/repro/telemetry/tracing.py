@@ -117,6 +117,19 @@ class Tracer:
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._local = threading.local()
+        self.thread_names = {}  # tid -> stable display name for exports
+
+    def register_thread(self, name, tid=None):
+        """Label a thread in exported traces (e.g. ``hyx-worker-3``).
+
+        Chrome-trace export emits a ``thread_name`` metadata event per
+        registered thread so per-thread rows show worker names instead of
+        bare ids. Defaults to the calling thread.
+        """
+        with self._lock:
+            self.thread_names[tid if tid is not None else threading.get_ident()] = str(
+                name
+            )
 
     # ------------------------------------------------------------------
     # span lifecycle

@@ -1,0 +1,287 @@
+"""Parallel (thread-pool) superstep execution: exchanges and failure order.
+
+Covers the mechanics DESIGN.md §13 relies on: the bounded exchange queue
+(FIFO, backpressure, clean shutdown), the equivalence of the parallel
+Exchange path with the sequential ``route`` path for every connector
+family, and the engine-level contracts — bit-identical job results at any
+worker count, lowest-partition-wins failure surfacing, and worker-thread
+registration in the telemetry tracer.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import JobFailure
+from repro.hyracks.connectors import (
+    BroadcastConnector,
+    ExchangeQueue,
+    MToNPartitioningConnector,
+    MToNPartitioningMergingConnector,
+    MToOneAggregatorConnector,
+    OneToOneConnector,
+)
+from repro.hyracks.engine import HyracksCluster
+from repro.hyracks.job import JobSpec
+from repro.hyracks.operators.func import (
+    CollectSinkOperator,
+    GeneratorSourceOperator,
+    MapOperator,
+)
+from repro.hyracks.scheduler import (
+    SequentialTaskRunner,
+    ThreadPoolTaskRunner,
+    make_task_runner,
+)
+
+
+class TestExchangeQueue:
+    def test_fifo_round_trip(self):
+        queue = ExchangeQueue(capacity_tuples=100)
+        queue.put(0, 0, [1, 2])
+        queue.put(1, 0, [3])
+        queue.put(0, 1, [4, 5, 6])
+        assert queue.buffered_tuples == 6
+        assert queue.get() == (0, 0, [1, 2])
+        assert queue.get() == (1, 0, [3])
+        assert queue.get() == (0, 1, [4, 5, 6])
+        assert queue.buffered_tuples == 0
+
+    def test_get_returns_none_after_close_and_drain(self):
+        queue = ExchangeQueue(capacity_tuples=10)
+        queue.put(0, 0, [1])
+        queue.close()
+        assert queue.get() == (0, 0, [1])  # buffered data survives close
+        assert queue.get() is None
+
+    def test_put_after_close_raises(self):
+        queue = ExchangeQueue(capacity_tuples=10)
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed exchange queue"):
+            queue.put(0, 0, [1])
+
+    def test_oversized_batch_admitted_when_empty(self):
+        # A single chunk larger than the whole capacity must not deadlock.
+        queue = ExchangeQueue(capacity_tuples=2)
+        queue.put(0, 0, list(range(50)))
+        assert queue.buffered_tuples == 50
+
+    def test_backpressure_blocks_producer_until_drained(self):
+        queue = ExchangeQueue(capacity_tuples=4)
+        queue.put(0, 0, [1, 2, 3])
+        unblocked = threading.Event()
+
+        def producer():
+            queue.put(0, 0, [4, 5, 6])  # 3 + 3 > 4: must wait
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not unblocked.wait(timeout=0.05)
+        assert queue.get() == (0, 0, [1, 2, 3])
+        assert unblocked.wait(timeout=2.0)
+        thread.join(timeout=2.0)
+        assert queue.backpressure_waits >= 1
+        assert queue.get() == (0, 0, [4, 5, 6])
+
+
+def _exchange_vs_route(connector, per_sender, num_consumers, chunk=2):
+    """Push the same batches through both paths; both results."""
+    routed = connector.route([list(b) for b in per_sender], num_consumers, None)
+    exchange = connector.open_exchange(
+        len(per_sender), num_consumers, None, capacity=8, chunk=chunk
+    )
+    threads = [
+        threading.Thread(target=exchange.send, args=(sender, list(batch)))
+        for sender, batch in enumerate(per_sender)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return routed, exchange.collect()
+
+
+class TestExchangeMatchesRoute:
+    """The parallel path must assemble exactly what ``route`` assembles."""
+
+    def test_partitioning_connector(self):
+        connector = MToNPartitioningConnector(key_fn=lambda t: t[0])
+        per_sender = [
+            [(k, s * 100 + i) for i, k in enumerate(range(s, s + 9))]
+            for s in range(3)
+        ]
+        routed, exchanged = _exchange_vs_route(connector, per_sender, 4)
+        assert exchanged == routed
+
+    def test_merging_connector_produces_sorted_streams(self):
+        connector = MToNPartitioningMergingConnector(
+            key_fn=lambda t: t[0], sort_key_fn=lambda t: t[0]
+        )
+        per_sender = [
+            sorted((k, s) for k in range((s * 7) % 5, 20, s + 2))
+            for s in range(3)
+        ]
+        routed, exchanged = _exchange_vs_route(connector, per_sender, 2)
+        assert exchanged == routed
+        for stream in exchanged:
+            assert stream == sorted(stream, key=lambda t: t[0])
+
+    def test_merging_connector_rejects_unsorted_sender(self):
+        connector = MToNPartitioningMergingConnector(key_fn=lambda t: t[0])
+        with pytest.raises(ValueError, match="sorted sender streams"):
+            connector.route([[(3, 0), (1, 0)]], 1, None)
+
+    def test_aggregator_connector(self):
+        connector = MToOneAggregatorConnector()
+        per_sender = [[(s, i) for i in range(4)] for s in range(3)]
+        routed, exchanged = _exchange_vs_route(connector, per_sender, 1)
+        assert exchanged == routed
+        # Sender partition-id order is the determinism contract.
+        assert [t[0] for t in exchanged[0]] == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_broadcast_connector(self):
+        connector = BroadcastConnector()
+        per_sender = [[(s, i) for i in range(3)] for s in range(2)]
+        routed, exchanged = _exchange_vs_route(connector, per_sender, 3)
+        assert exchanged == routed
+        assert all(stream == exchanged[0] for stream in exchanged)
+
+    def test_one_to_one_connector(self):
+        connector = OneToOneConnector()
+        per_sender = [[s, s, s] for s in range(3)]
+        routed, exchanged = _exchange_vs_route(connector, per_sender, 3)
+        assert exchanged == routed == per_sender
+
+    def test_exchange_close_is_idempotent(self):
+        connector = OneToOneConnector()
+        exchange = connector.open_exchange(1, 1, None)
+        exchange.send(0, [1, 2])
+        exchange.close()
+        exchange.close()
+        assert exchange.collect() == [[1, 2]]
+
+
+class TestTaskRunners:
+    def test_make_task_runner_picks_mode(self):
+        sequential = make_task_runner(1, None)
+        assert isinstance(sequential, SequentialTaskRunner)
+        assert sequential.concurrency == 1
+        parallel = make_task_runner(4, None)
+        try:
+            assert isinstance(parallel, ThreadPoolTaskRunner)
+            assert parallel.concurrency == 4
+        finally:
+            parallel.close()
+
+    def test_thread_pool_preserves_partition_order(self):
+        runner = make_task_runner(4, None)
+        try:
+            def task(partition):
+                def run():
+                    time.sleep(0.02 * (3 - partition))  # finish out of order
+                    return partition * 10
+                return run
+
+            outcomes = runner.map([task(p) for p in range(4)])
+        finally:
+            runner.close()
+        assert [o.partition for o in outcomes] == [0, 1, 2, 3]
+        assert [o.value for o in outcomes] == [0, 10, 20, 30]
+        assert not any(o.failed for o in outcomes)
+
+    def test_thread_pool_captures_all_failures(self):
+        runner = make_task_runner(2, None)
+        try:
+            def boom(partition):
+                def run():
+                    raise ValueError("clone %d" % partition)
+                return run
+
+            outcomes = runner.map([boom(p) for p in range(3)])
+        finally:
+            runner.close()
+        assert all(o.failed for o in outcomes)
+        assert [str(o.error) for o in outcomes] == [
+            "clone 0", "clone 1", "clone 2"
+        ]
+
+    def test_sequential_runner_stops_at_first_failure(self):
+        runner = SequentialTaskRunner()
+        ran = []
+
+        def task(partition):
+            def run():
+                ran.append(partition)
+                if partition == 1:
+                    raise ValueError("stop")
+                return partition
+            return run
+
+        outcomes = runner.map([task(p) for p in range(4)])
+        assert ran == [0, 1]  # partitions 2 and 3 never started
+        assert len(outcomes) == 2 and outcomes[1].failed
+
+
+def _square_shuffle_job():
+    spec = JobSpec("squares")
+    source = spec.add(
+        GeneratorSourceOperator(
+            lambda ctx, p: [(p * 10 + i, (p * 10 + i) ** 2) for i in range(25)]
+        )
+    )
+    stage = spec.add(MapOperator(lambda t: t))
+    sink = spec.add(CollectSinkOperator("out"))
+    spec.connect(MToNPartitioningConnector(key_fn=lambda t: t[0]), source, stage)
+    spec.connect(OneToOneConnector(), stage, sink)
+    return spec
+
+
+class TestParallelEngine:
+    def test_parallel_result_matches_sequential(self, tmp_path):
+        with HyracksCluster(
+            num_nodes=4, root_dir=str(tmp_path / "seq")
+        ) as sequential:
+            expected = sequential.execute(_square_shuffle_job())
+        with HyracksCluster(
+            num_nodes=4, parallelism=4, root_dir=str(tmp_path / "par")
+        ) as parallel:
+            assert parallel.task_runner.concurrency == 4
+            actual = parallel.execute(_square_shuffle_job())
+        assert actual.collected == expected.collected
+        assert actual.gather("out") == expected.gather("out")
+
+    def test_lowest_partition_failure_wins(self, tmp_path):
+        def explode(t):
+            raise ValueError("partition key %d" % t[0])
+
+        spec = JobSpec("explode")
+        source = spec.add(GeneratorSourceOperator(lambda ctx, p: [(p, p)]))
+        stage = spec.add(MapOperator(explode))
+        sink = spec.add(CollectSinkOperator("out"))
+        spec.connect(OneToOneConnector(), source, stage)
+        spec.connect(OneToOneConnector(), stage, sink)
+        with HyracksCluster(
+            num_nodes=4, parallelism=4, root_dir=str(tmp_path / "c")
+        ) as cluster:
+            with pytest.raises(ValueError, match="partition key 0"):
+                cluster.execute(spec)
+
+    def test_injected_worker_failure_becomes_job_failure(self, tmp_path):
+        with HyracksCluster(
+            num_nodes=3, parallelism=3, root_dir=str(tmp_path / "c")
+        ) as cluster:
+            cluster.nodes["node1"].inject_failure(after_tasks=1)
+            with pytest.raises(JobFailure):
+                cluster.execute(_square_shuffle_job())
+            events = cluster.telemetry.events.snapshot(name="node.failure")
+            assert events and events[0].args["node"] == "node1"
+
+    def test_worker_threads_registered_with_tracer(self, tmp_path):
+        with HyracksCluster(
+            num_nodes=2, parallelism=2, root_dir=str(tmp_path / "c")
+        ) as cluster:
+            cluster.execute(_square_shuffle_job())
+            names = set(cluster.telemetry.tracer.thread_names.values())
+        assert any(name.startswith("hyx-worker") for name in names)

@@ -93,6 +93,10 @@ def _add_run_arguments(parser):
     parser.add_argument("--stats", action="store_true",
                         help="print the per-superstep statistics table "
                              "and the telemetry summary")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable result document "
+                             "(the same JSON the job service returns from "
+                             "GET /jobs/<id>/result) instead of prose")
 
 
 def build_parser():
@@ -127,6 +131,61 @@ def build_parser():
                        help="Chrome trace_event JSON output path")
     trace.add_argument("--trace-jsonl", metavar="PATH", default=None,
                        help="also dump spans/events/metrics as JSON lines")
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="run a job array back to back over one resident vertex "
+             "relation (paper Section 5.6)",
+    )
+    pipeline.add_argument(
+        "algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        metavar="algorithm",
+        help="algorithms to chain, in order (repeatable names allowed)",
+    )
+    pipeline.add_argument("--input", required=True,
+                          help="directory of part files")
+    pipeline.add_argument("--output", help="directory for result part files")
+    pipeline.add_argument("--nodes", type=int, default=4)
+    pipeline.add_argument("--iterations", type=int, default=10)
+    pipeline.add_argument("--source-id", type=int, default=0)
+    pipeline.add_argument("--parallel", type=int, default=1, metavar="N")
+    pipeline.add_argument("--json", action="store_true",
+                          help="print per-job result documents as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the multi-tenant job service over HTTP (DESIGN.md §14)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--nodes", type=int, default=4,
+                       help="simulated machines in the resident cluster")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="dispatcher threads (job-level concurrency)")
+    serve.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="per-job operator-clone concurrency")
+    serve.add_argument("--node-memory-mb", type=int, default=None,
+                       help="per-node memory budget override (MiB)")
+    serve.add_argument(
+        "--dataset", action="append", default=None, metavar="NAME=DIR",
+        help="pre-load a local part-file directory as a named dataset "
+             "(repeatable)",
+    )
+    serve.add_argument(
+        "--quota", action="append", default=None,
+        metavar="TENANT=W[:R[:Q[:F]]]",
+        help="tenant quota as weight[:max_running[:max_queued"
+             "[:memory_fraction]]] (repeatable)",
+    )
+    serve.add_argument("--result-cache", type=int, default=64,
+                       help="result-cache entries (0 disables)")
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke: generate a small dataset, submit three jobs over "
+             "HTTP (one over-quota rejection, one cache-hit repeat), "
+             "compare against a direct driver run, drain, exit 0/1",
+    )
 
     figures = sub.add_parser("figures", help="regenerate paper experiments")
     figures.add_argument("which", nargs="+", choices=FIGURES + ["all"])
@@ -350,38 +409,53 @@ def cmd_run(args, out=print):
             parse_line=parse_line,
             format_record=getattr(module, "format_record", None),
         )
-        out(
-            "%s: %d supersteps in %.2fs (avg %.3fs); plan %s"
-            % (
-                args.algorithm,
-                outcome.supersteps,
-                outcome.total_seconds,
-                outcome.avg_iteration_seconds,
-                job.plan_signature(),
-            )
-        )
-        if outcome.gs.aggregate is not None:
-            out("global aggregate: %r" % (outcome.gs.aggregate,))
-        if args.stats:
-            outcome.stats.report(out=out)
-            from repro.telemetry import print_summary
+        json_mode = getattr(args, "json", False)
+        if json_mode:
+            # The same document the job service returns from
+            # GET /jobs/<id>/result — one formatter, two front ends.
+            import json as json_module
 
-            print_summary(telemetry, out=out)
-        out(
-            "vertices: %d, edges: %d, messages sent: %d"
-            % (
-                outcome.gs.num_vertices,
-                outcome.gs.num_edges,
-                outcome.stats.total_messages_sent,
+            from repro.serve.api import result_document
+
+            results = driver.read_output("/output") if args.output else None
+            out(json_module.dumps(
+                result_document(args.algorithm, job, outcome, results=results),
+                indent=2, sort_keys=True,
+            ))
+        else:
+            out(
+                "%s: %d supersteps in %.2fs (avg %.3fs); plan %s"
+                % (
+                    args.algorithm,
+                    outcome.supersteps,
+                    outcome.total_seconds,
+                    outcome.avg_iteration_seconds,
+                    job.plan_signature(),
+                )
             )
-        )
+            if outcome.gs.aggregate is not None:
+                out("global aggregate: %r" % (outcome.gs.aggregate,))
+            if args.stats:
+                outcome.stats.report(out=out)
+                from repro.telemetry import print_summary
+
+                print_summary(telemetry, out=out)
+            out(
+                "vertices: %d, edges: %d, messages sent: %d"
+                % (
+                    outcome.gs.num_vertices,
+                    outcome.gs.num_edges,
+                    outcome.stats.total_messages_sent,
+                )
+            )
         if args.output:
             os.makedirs(args.output, exist_ok=True)
             for path in dfs.list_files("/output"):
                 local = os.path.join(args.output, os.path.basename(path))
                 with open(local, "w") as handle:
                     handle.write(dfs.read_text(path))
-            out("results written to %s" % args.output)
+            if not json_mode:
+                out("results written to %s" % args.output)
         if trace_path:
             telemetry.write_chrome_trace(trace_path)
             out(
@@ -394,6 +468,342 @@ def cmd_run(args, out=print):
         return 0
     finally:
         cluster.close()
+
+
+def cmd_pipeline(args, out=print):
+    import importlib
+    import json as json_module
+
+    from repro.hdfs import MiniDFS
+    from repro.hyracks.engine import HyracksCluster
+    from repro.pregelix import PregelixDriver
+    from repro.pregelix.pipelining import run_job_array
+    from repro.serve.api import result_document
+    from repro.telemetry import Telemetry
+
+    jobs = []
+    parsers = {}
+    formatters = {}
+    for name in args.algorithms:
+        module_name, kwarg_names = ALGORITHMS[name]
+        module = importlib.import_module(module_name)
+        kwargs = {}
+        if "iterations" in kwarg_names:
+            kwargs["iterations"] = args.iterations
+        if "source_id" in kwarg_names:
+            kwargs["source_id"] = args.source_id
+        job = module.build_job(**kwargs)
+        jobs.append(job)
+        parse_line = getattr(module, "parse_line", None)
+        if parse_line is not None:
+            parsers[job.name] = parse_line
+        format_record = getattr(module, "format_record", None)
+        if format_record is not None:
+            formatters[job.name] = format_record
+
+    telemetry = Telemetry()
+    cluster = HyracksCluster(
+        num_nodes=args.nodes, telemetry=telemetry, parallelism=args.parallel
+    )
+    try:
+        dfs = MiniDFS(datanodes=cluster.node_ids())
+        part_files = sorted(
+            name for name in os.listdir(args.input)
+            if os.path.isfile(os.path.join(args.input, name))
+        )
+        if not part_files:
+            out("error: no input files in %s" % args.input)
+            return 2
+        for name in part_files:
+            with open(os.path.join(args.input, name)) as handle:
+                dfs.write("/input/%s" % name, handle.read())
+
+        driver = PregelixDriver(cluster, dfs)
+        segments = run_job_array(
+            driver,
+            jobs,
+            "/input",
+            output_path="/output" if args.output else None,
+            parsers=parsers,
+            formatters=formatters,
+        )
+        flat = [outcome for segment in segments for outcome in segment.outcomes]
+        if args.json:
+            out(json_module.dumps(
+                {
+                    "jobs": [
+                        result_document(name, outcome.job, outcome)
+                        for name, outcome in zip(args.algorithms, flat)
+                    ],
+                    "segments": len(segments),
+                    "total_seconds": sum(s.total_seconds for s in segments),
+                },
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for name, outcome in zip(args.algorithms, flat):
+                out(
+                    "%s: %d supersteps in %.2fs (plan %s)"
+                    % (
+                        name,
+                        outcome.supersteps,
+                        outcome.stats.total_elapsed,
+                        outcome.job.plan_signature(),
+                    )
+                )
+            out(
+                "pipeline: %d jobs in %d segment(s), %.2fs total "
+                "(loaded once per segment, no HDFS round trips inside one)"
+                % (
+                    len(flat),
+                    len(segments),
+                    sum(s.total_seconds for s in segments),
+                )
+            )
+        if args.output:
+            os.makedirs(args.output, exist_ok=True)
+            for path in dfs.list_files("/output"):
+                local = os.path.join(args.output, os.path.basename(path))
+                with open(local, "w") as handle:
+                    handle.write(dfs.read_text(path))
+            if not args.json:
+                out("results written to %s" % args.output)
+        return 0
+    finally:
+        cluster.close()
+
+
+def _parse_serve_options(args):
+    """Datasets and quotas from their NAME=SPEC command-line forms."""
+    from repro.serve import TenantQuota
+
+    datasets = []
+    for spec in args.dataset or []:
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            raise ValueError("--dataset takes NAME=DIR, got %r" % spec)
+        datasets.append((name, directory))
+    quotas = {}
+    for spec in args.quota or []:
+        tenant, sep, quota = spec.partition("=")
+        if not sep or not tenant or not quota:
+            raise ValueError(
+                "--quota takes TENANT=W[:R[:Q[:F]]], got %r" % spec
+            )
+        quotas[tenant] = TenantQuota.parse(quota)
+    return datasets, quotas
+
+
+def cmd_serve(args, out=print):
+    from repro.serve import JobService, ServeHTTPServer
+
+    if args.smoke:
+        return _serve_smoke(args, out=out)
+
+    try:
+        datasets, quotas = _parse_serve_options(args)
+    except ValueError as error:
+        out("error: %s" % error)
+        return 2
+    node_memory = (
+        args.node_memory_mb * 1024 * 1024
+        if args.node_memory_mb is not None
+        else None
+    )
+    service = JobService(
+        num_nodes=args.nodes,
+        workers=args.workers,
+        parallelism=args.parallel,
+        node_memory_bytes=node_memory,
+        quotas=quotas or None,
+        result_cache_capacity=args.result_cache,
+    )
+    for name, directory in datasets:
+        dataset = service.add_dataset(name, local_dir=directory)
+        out(
+            "dataset %s: %d bytes in %d files (digest %s)"
+            % (name, dataset.nbytes, dataset.num_files, dataset.digest)
+        )
+    service.start()
+    server = ServeHTTPServer(service, host=args.host, port=args.port)
+    host, port = server.start()
+    out(
+        "serving on http://%s:%d (%d nodes, %d workers; Ctrl-C to drain "
+        "and stop)" % (host, port, args.nodes, args.workers)
+    )
+    try:
+        while True:
+            import time
+
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        out("draining ...")
+    finally:
+        server.close()
+        drained = service.shutdown(drain=True, timeout=300)
+        out("stopped (drained: %s)" % drained)
+    return 0
+
+
+def _serve_smoke(args, out=print):
+    """The CI smoke: end-to-end HTTP serving against a direct-driver run.
+
+    Three submissions over real HTTP — a normal job, an over-quota job
+    that must produce a structured 429-style rejection (never an OOM),
+    and a repeat of the first that must be served from the result cache
+    — then a clean drain. The served results must be bit-identical to a
+    direct :class:`~repro.pregelix.runtime.PregelixDriver` run of the
+    same algorithm over the same graph.
+    """
+    import importlib
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    from repro.graphs.generators import btc_graph
+    from repro.graphs.io import write_graph_to_dfs
+    from repro.hdfs import MiniDFS
+    from repro.hyracks.engine import HyracksCluster
+    from repro.pregelix import PregelixDriver
+    from repro.serve import JobService, ServeHTTPServer, TenantQuota
+
+    failures = []
+
+    def check(label, ok, detail=""):
+        out("%s %s%s" % ("ok  " if ok else "FAIL", label,
+                         " (%s)" % detail if detail and not ok else ""))
+        if not ok:
+            failures.append(label)
+
+    vertices = list(btc_graph(60, seed=3))
+
+    # The reference: a one-shot driver run on its own cluster.
+    cluster = HyracksCluster(num_nodes=3)
+    try:
+        dfs = MiniDFS(datanodes=cluster.node_ids())
+        write_graph_to_dfs(dfs, "/in/g", iter(vertices), num_files=3)
+        module = importlib.import_module(ALGORITHMS["cc"][0])
+        driver = PregelixDriver(cluster, dfs)
+        driver.run(
+            module.build_job(),
+            "/in/g",
+            output_path="/out/r",
+            parse_line=getattr(module, "parse_line", None),
+            format_record=getattr(module, "format_record", None),
+        )
+        reference = sorted(driver.read_output("/out/r"))
+    finally:
+        cluster.close()
+
+    service = JobService(
+        num_nodes=3,
+        workers=args.workers,
+        quotas={
+            "alice": TenantQuota(weight=2.0),
+            # bob's memory fraction is so small every job is over budget:
+            # the structured rejection path, never an engine OOM.
+            "bob": TenantQuota(weight=1.0, memory_fraction=1e-9),
+        },
+    )
+    service.add_dataset("btc", vertices=vertices)
+    service.start()
+    server = ServeHTTPServer(service, host="127.0.0.1", port=0)
+    host, port = server.start()
+    base = "http://%s:%d" % (host, port)
+    out("smoke service on %s" % base)
+
+    def http(method, path, body=None):
+        data = (
+            json_module.dumps(body).encode() if body is not None else None
+        )
+        request = urllib.request.Request(
+            base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, json_module.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json_module.loads(error.read())
+
+    try:
+        status, health = http("GET", "/healthz")
+        check("healthz", status == 200 and health.get("ok") is True)
+
+        # 1. A normal job for alice.
+        status, record = http(
+            "POST", "/jobs",
+            {"tenant": "alice", "algorithm": "cc", "dataset": "btc"},
+        )
+        check("submit", status == 202 and "job_id" in record,
+              "status %s: %s" % (status, record))
+        job_id = record.get("job_id", "")
+        deadline = 60
+        state = record.get("state")
+        import time
+
+        waited = 0.0
+        while state not in ("succeeded", "failed") and waited < deadline:
+            time.sleep(0.1)
+            waited += 0.1
+            _, record = http("GET", "/jobs/%s" % job_id)
+            state = record.get("state")
+        check("job completes", state == "succeeded", "state %s" % state)
+        status, result = http("GET", "/jobs/%s/result" % job_id)
+        served = sorted(result.get("results", []))
+        check("served == direct driver", served == reference,
+              "%d vs %d lines" % (len(served), len(reference)))
+        check("result not from cache", result.get("cache_hit") is False)
+
+        # 2. bob is over his memory quota: structured 429, no OOM. The
+        # cache is bypassed — a hit would (correctly) serve for free
+        # without consulting admission at all.
+        status, rejection = http(
+            "POST", "/jobs",
+            {"tenant": "bob", "algorithm": "cc", "dataset": "btc",
+             "use_cache": False},
+        )
+        rejection = rejection.get("error", {})
+        check(
+            "over-quota is a structured 429",
+            status == 429 and rejection.get("code") == "over_memory"
+            and "estimated_bytes" in rejection.get("details", {}),
+            "status %s: %s" % (status, rejection),
+        )
+
+        # 3. The repeat must come from the result cache.
+        status, repeat = http(
+            "POST", "/jobs",
+            {"tenant": "alice", "algorithm": "cc", "dataset": "btc"},
+        )
+        check(
+            "repeat is a cache hit",
+            status == 202 and repeat.get("cache_hit") is True
+            and repeat.get("state") == "succeeded",
+            "status %s: %s" % (status, repeat),
+        )
+        status, result = http("GET", "/jobs/%s/result" % repeat.get("job_id"))
+        check(
+            "cached result identical",
+            sorted(result.get("results", [])) == reference,
+        )
+        hits = service.telemetry.registry.counter("serve.cache_hit").value
+        check("serve.cache_hit metric", hits >= 1, "hits=%s" % hits)
+
+        status, stats = http("GET", "/stats")
+        check(
+            "stats",
+            status == 200 and stats.get("jobs", {}).get("succeeded") == 2
+            and stats.get("rejected", 0) >= 1,
+            json_module.dumps(stats.get("jobs", {})),
+        )
+    finally:
+        server.close()
+        drained = service.shutdown(drain=True, timeout=120)
+    check("drained cleanly", drained is True)
+    out("serve smoke: %s" % ("PASS" if not failures else
+                             "FAIL (%s)" % ", ".join(failures)))
+    return 0 if not failures else 1
 
 
 def cmd_figures(args, out=print):
@@ -669,6 +1079,10 @@ def main(argv=None, out=print):
     if args.command == "trace":
         args.trace = args.out
         return cmd_run(args, out=out)
+    if args.command == "pipeline":
+        return cmd_pipeline(args, out=out)
+    if args.command == "serve":
+        return cmd_serve(args, out=out)
     if args.command == "figures":
         return cmd_figures(args, out=out)
     if args.command == "explain":

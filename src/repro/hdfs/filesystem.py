@@ -105,6 +105,11 @@ class MiniDFS:
         self._files = {}
         self._next_node = 0
         self._placement_lock = threading.Lock()
+        # Namespace lock: concurrent jobs (repro.serve) write disjoint
+        # paths but still race directory *iteration* (list/delete/rename)
+        # against dict resizes. Re-entrant because aggregate operations
+        # (total_bytes, verify_tree) call list_files while holding it.
+        self._ns_lock = threading.RLock()
         #: Optional chaos hook (see repro.chaos.faults.FaultInjector);
         #: consulted at the ``dfs.write`` site on every write.
         self.fault_injector = None
@@ -121,20 +126,24 @@ class MiniDFS:
     def list_files(self, prefix=""):
         """All file paths under ``prefix``, sorted."""
         prefix = self._normalize(prefix) if prefix else ""
-        return sorted(path for path in self._files if path.startswith(prefix))
+        with self._ns_lock:
+            return sorted(path for path in self._files if path.startswith(prefix))
 
     def delete(self, path, recursive=False):
         """Remove a file, or a whole subtree when ``recursive``."""
         path = self._normalize(path)
-        if recursive:
-            doomed = [p for p in self._files if p == path or p.startswith(path + "/")]
-            for p in doomed:
-                del self._files[p]
-            return bool(doomed)
-        if path in self._files:
-            del self._files[path]
-            return True
-        return False
+        with self._ns_lock:
+            if recursive:
+                doomed = [
+                    p for p in self._files if p == path or p.startswith(path + "/")
+                ]
+                for p in doomed:
+                    del self._files[p]
+                return bool(doomed)
+            if path in self._files:
+                del self._files[path]
+                return True
+            return False
 
     def rename(self, src, dst, overwrite=False):
         """Atomically move ``src`` to ``dst``.
@@ -146,11 +155,12 @@ class MiniDFS:
         """
         src = self._normalize(src)
         dst = self._normalize(dst)
-        if src not in self._files:
-            raise FileNotFoundError(src)
-        if dst in self._files and not overwrite:
-            raise FileExistsError(dst)
-        self._files[dst] = self._files.pop(src)
+        with self._ns_lock:
+            if src not in self._files:
+                raise FileNotFoundError(src)
+            if dst in self._files and not overwrite:
+                raise FileExistsError(dst)
+            self._files[dst] = self._files.pop(src)
 
     def status(self, path):
         path = self._normalize(path)
@@ -183,7 +193,8 @@ class MiniDFS:
             for i in range(0, len(data), self.block_size)
         ] or [b""]
         locations = [self._place_block() for _ in blocks]
-        self._files[path] = _File(blocks, self.block_size, locations)
+        with self._ns_lock:
+            self._files[path] = _File(blocks, self.block_size, locations)
         if action == "corrupt":
             self.corrupt(path)
         elif action == "torn_write":
@@ -249,7 +260,8 @@ class MiniDFS:
 
     def total_bytes(self, prefix=""):
         """Aggregate size of all files under ``prefix``."""
-        return sum(self._files[p].length for p in self.list_files(prefix))
+        with self._ns_lock:
+            return sum(self._files[p].length for p in self.list_files(prefix))
 
     # ------------------------------------------------------------------
     # integrity
@@ -284,10 +296,11 @@ class MiniDFS:
     def verify_tree(self, prefix=""):
         """Audit a subtree: ``{path: [bad block indexes]}`` for damage."""
         report = {}
-        for path in self.list_files(prefix):
-            bad = self._files[path].bad_blocks()
-            if bad:
-                report[path] = bad
+        with self._ns_lock:
+            for path in self.list_files(prefix):
+                bad = self._files[path].bad_blocks()
+                if bad:
+                    report[path] = bad
         return report
 
     # ------------------------------------------------------------------

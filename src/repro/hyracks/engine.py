@@ -242,6 +242,9 @@ class HyracksCluster:
         self.scheduler = Scheduler(partitions_per_node)
         self.task_runner = make_task_runner(self.parallelism, self.telemetry)
         self.jobs_executed = 0
+        # Concurrent execute() calls (repro.serve runs whole jobs in
+        # parallel) make the counter bump a read-modify-write.
+        self._jobs_executed_lock = threading.Lock()
         #: Optional chaos hook (see repro.chaos.faults.FaultInjector).
         self.fault_injector = None
 
@@ -361,7 +364,8 @@ class HyracksCluster:
         finally:
             for exchange in exchanges.values():
                 exchange.close()
-        self.jobs_executed += 1
+        with self._jobs_executed_lock:
+            self.jobs_executed += 1
         self.telemetry.registry.counter("engine.jobs_executed").inc()
         disk_after = self._disk_snapshot()
         disk_delta = IOCounters()

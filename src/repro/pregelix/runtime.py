@@ -393,13 +393,16 @@ class PregelixDriver:
         run_id = generator.run_id
         for node in self.cluster.nodes.values():
             registry = node.services.get("indexes", {})
+            # Snapshot with list(dict): atomic under the GIL, unlike a
+            # comprehension — concurrent jobs (repro.serve) register
+            # their own run-scoped indexes while this run cleans up.
             doomed = [
                 key
-                for key in registry
+                for key in list(registry)
                 if key[0] in (generator.vertex_index, generator.vid_index)
             ]
             for key in doomed:
-                index = registry.pop(key)
+                index = registry.pop(key, None)
                 if hasattr(index, "destroy"):
                     index.destroy()
             pregelix_state = node.services.get("pregelix", {}).pop(run_id, None)

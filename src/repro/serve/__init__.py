@@ -1,0 +1,54 @@
+"""repro.serve — a multi-tenant job service over one shared cluster.
+
+The serving layer (DESIGN.md §14): a long-running
+:class:`~repro.serve.service.JobService` keeps a
+:class:`~repro.hyracks.engine.HyracksCluster` and its datasets resident
+and executes submitted Pregel jobs concurrently, instead of the one-shot
+build/load/run/tear-down of ``repro run``. Submissions flow through
+admission control (:mod:`repro.serve.admission`), weighted fair-share
+scheduling (:mod:`repro.serve.queue`), isolated execution, and a result
+cache (:mod:`repro.serve.cache`); :mod:`repro.serve.http` exposes the
+whole thing over plain HTTP.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantQuota,
+    estimate_job_bytes,
+)
+from repro.serve.api import (
+    SERVABLE_ALGORITHMS,
+    AdmissionRejected,
+    JobRecord,
+    JobRequest,
+    JobState,
+    Rejection,
+    result_document,
+)
+from repro.serve.cache import LRUCache, PlanCache, ResultCache, plan_class
+from repro.serve.http import ServeHTTPServer
+from repro.serve.queue import FairShareQueue
+from repro.serve.service import Dataset, JobService
+
+__all__ = [
+    "SERVABLE_ALGORITHMS",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "Dataset",
+    "FairShareQueue",
+    "JobRecord",
+    "JobRequest",
+    "JobService",
+    "JobState",
+    "LRUCache",
+    "PlanCache",
+    "Rejection",
+    "ResultCache",
+    "ServeHTTPServer",
+    "TenantQuota",
+    "estimate_job_bytes",
+    "plan_class",
+    "result_document",
+]

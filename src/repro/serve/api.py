@@ -1,0 +1,262 @@
+"""The serve protocol: requests, records, rejections, result documents.
+
+Everything that crosses the service boundary is a plain dataclass with a
+``to_dict`` JSON projection, so the stdlib HTTP front end
+(:mod:`repro.serve.http`), the CLI, and in-process callers all speak the
+same shapes. The result document formatter is shared with
+``repro run --json`` — a job executed directly and the same job served
+over HTTP produce byte-identical JSON payloads (modulo serving metadata).
+"""
+
+import enum
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+
+#: Algorithms the service can execute: name -> (module path, accepted
+#: request params). Mirrors the CLI table; kept here so the serve layer
+#: does not import the CLI.
+SERVABLE_ALGORITHMS = {
+    "pagerank": ("repro.algorithms.pagerank", ("iterations",)),
+    "sssp": ("repro.algorithms.sssp", ("source_id",)),
+    "cc": ("repro.algorithms.connected_components", ()),
+    "reachability": ("repro.algorithms.reachability", ()),
+    "triangles": ("repro.algorithms.triangle_counting", ()),
+    "bfs-tree": ("repro.algorithms.bfs_spanning_tree", ()),
+    "scc": ("repro.algorithms.scc", ()),
+    "list-ranking": ("repro.algorithms.list_ranking", ()),
+}
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a served job."""
+
+    SUBMITTED = "submitted"
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self):
+        return self in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+
+
+#: Structured rejection codes emitted by admission control.
+REJECT_UNKNOWN_ALGORITHM = "unknown_algorithm"
+REJECT_UNKNOWN_DATASET = "unknown_dataset"
+REJECT_OVER_MEMORY = "over_memory"
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_DRAINING = "draining"
+REJECT_BAD_REQUEST = "bad_request"
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a submission was refused, machine-readably.
+
+    :param code: one of the ``REJECT_*`` constants.
+    :param reason: a human-readable sentence.
+    :param details: structured context (budgets, quotas, estimates).
+    """
+
+    code: str
+    reason: str
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {"code": self.code, "reason": self.reason, "details": dict(self.details)}
+
+
+class AdmissionRejected(ReproError):
+    """Raised by :meth:`JobService.submit` when admission refuses a job."""
+
+    def __init__(self, rejection):
+        self.rejection = rejection
+        super().__init__("%s: %s" % (rejection.code, rejection.reason))
+
+
+@dataclass
+class JobRequest:
+    """One tenant's ask: run ``algorithm`` over a pre-loaded ``dataset``.
+
+    :param plan: optional explicit plan signature
+        (``join/groupby/connector/storage``, e.g. ``loj/sort/merged/btree``);
+        ``None`` lets the service pick (plan cache, then job defaults).
+    :param optimize: run under the cost-based optimizer.
+    :param use_cache: consult/populate the result cache.
+    """
+
+    tenant: str
+    algorithm: str
+    dataset: str
+    params: dict = field(default_factory=dict)
+    plan: str = None
+    optimize: bool = False
+    use_cache: bool = True
+    max_supersteps: int = None
+
+    @classmethod
+    def from_dict(cls, doc):
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        missing = [key for key in ("tenant", "algorithm", "dataset") if not doc.get(key)]
+        if missing:
+            raise ValueError("missing required field(s): %s" % ", ".join(missing))
+        params = doc.get("params") or {}
+        if not isinstance(params, dict):
+            raise ValueError("params must be an object")
+        return cls(
+            tenant=str(doc["tenant"]),
+            algorithm=str(doc["algorithm"]),
+            dataset=str(doc["dataset"]),
+            params=dict(params),
+            plan=doc.get("plan"),
+            optimize=bool(doc.get("optimize", False)),
+            use_cache=bool(doc.get("use_cache", True)),
+            max_supersteps=doc.get("max_supersteps"),
+        )
+
+    def to_dict(self):
+        return {
+            "tenant": self.tenant,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "params": dict(self.params),
+            "plan": self.plan,
+            "optimize": self.optimize,
+            "use_cache": self.use_cache,
+            "max_supersteps": self.max_supersteps,
+        }
+
+    def params_key(self):
+        """Canonical, order-independent params rendering for cache keys."""
+        extras = {}
+        if self.max_supersteps is not None:
+            extras["max_supersteps"] = self.max_supersteps
+        merged = dict(self.params)
+        merged.update(extras)
+        return json.dumps(merged, sort_keys=True, separators=(",", ":"))
+
+
+_job_ids = itertools.count(1)
+
+
+def next_job_id():
+    return "job-%06d" % next(_job_ids)
+
+
+@dataclass
+class JobRecord:
+    """Everything the service tracks about one submitted job."""
+
+    job_id: str
+    request: JobRequest
+    state: JobState = JobState.SUBMITTED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float = None
+    finished_at: float = None
+    error: str = None
+    error_kind: str = None
+    attempts: int = 0
+    cache_hit: bool = False
+    run_id: str = None
+    estimated_bytes: int = 0
+    result: dict = None  # the shared result document (see result_document)
+
+    def __post_init__(self):
+        self._done = threading.Event()
+
+    def mark(self, state):
+        self.state = state
+        if state == JobState.RUNNING and self.started_at is None:
+            self.started_at = time.time()
+        if state.terminal:
+            self.finished_at = time.time()
+            self._done.set()
+
+    def wait(self, timeout=None):
+        """Block until the job reaches a terminal state; returns it or None."""
+        if not self._done.wait(timeout):
+            return None
+        return self.state
+
+    def to_dict(self):
+        return {
+            "job_id": self.job_id,
+            "request": self.request.to_dict(),
+            "state": self.state.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "run_id": self.run_id,
+            "has_result": self.result is not None,
+        }
+
+
+# ----------------------------------------------------------------------
+# the shared result document (repro run --json and GET /jobs/<id>/result)
+# ----------------------------------------------------------------------
+def result_document(algorithm, job, outcome, results=None):
+    """The machine-readable projection of one finished run.
+
+    :param algorithm: algorithm name as submitted/invoked.
+    :param job: the executed :class:`~repro.pregelix.api.PregelixJob`
+        (read for the final plan signature).
+    :param outcome: the driver's :class:`~repro.pregelix.runtime.JobOutcome`.
+    :param results: optional list of dumped output lines.
+    """
+    stats = outcome.stats
+    doc = {
+        "algorithm": algorithm,
+        "run_id": outcome.run_id,
+        "plan": job.plan_signature(),
+        "supersteps": outcome.supersteps,
+        "total_seconds": outcome.total_seconds,
+        "load_seconds": outcome.load_seconds,
+        "dump_seconds": outcome.dump_seconds,
+        "avg_iteration_seconds": outcome.avg_iteration_seconds,
+        "recoveries": outcome.recoveries,
+        "num_vertices": outcome.gs.num_vertices,
+        "num_edges": outcome.gs.num_edges,
+        "aggregate": _jsonable(outcome.gs.aggregate),
+        "messages_sent": stats.total_messages_sent,
+        "superstep_stats": [
+            {
+                "superstep": record.superstep,
+                "elapsed": record.elapsed,
+                "vertices_processed": record.vertices_processed,
+                "messages_sent": record.messages_sent,
+                "combined_messages": record.combined_messages,
+                "network_bytes": record.network_bytes,
+                "disk_read_bytes": record.disk_read_bytes,
+                "disk_write_bytes": record.disk_write_bytes,
+            }
+            for record in stats.supersteps
+        ],
+    }
+    if results is not None:
+        doc["results"] = list(results)
+    return doc
+
+
+def _jsonable(value):
+    """Best-effort JSON projection for aggregate values."""
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        if isinstance(value, dict):
+            return {str(k): _jsonable(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple, set)):
+            return [_jsonable(v) for v in value]
+        return repr(value)

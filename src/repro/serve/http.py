@@ -1,0 +1,197 @@
+"""A stdlib HTTP front end for :class:`~repro.serve.service.JobService`.
+
+Endpoints (JSON in, JSON out)::
+
+    POST /jobs              submit a job; 202 on admit, 429/400 on reject
+    GET  /jobs/<id>         job record (state, timings, errors)
+    GET  /jobs/<id>/result  the shared result document; 409 until terminal
+    GET  /jobs              all job records (most recent first)
+    GET  /healthz           liveness: 200 while serving/draining
+    GET  /stats             service statistics snapshot
+
+Built on :class:`http.server.ThreadingHTTPServer` so the service is
+drivable from outside the process without any dependency beyond the
+standard library. Rejections map admission codes onto HTTP statuses:
+``over_memory``/``queue_full``/``draining`` → 429 (with a
+``Retry-After`` hint for the retryable ones), everything else → 400.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.api import (
+    REJECT_DRAINING,
+    REJECT_OVER_MEMORY,
+    REJECT_QUEUE_FULL,
+    AdmissionRejected,
+    Rejection,
+)
+
+#: Admission codes that are the client's "try later", not "never".
+_RETRYABLE = (REJECT_QUEUE_FULL, REJECT_DRAINING)
+_TOO_MANY = (REJECT_OVER_MEMORY, REJECT_QUEUE_FULL, REJECT_DRAINING)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the bound JobService."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self):
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            if self.service.healthy():
+                self._json(200, {"ok": True, "state": self.service.stats()["state"]})
+            else:
+                self._json(503, {"ok": False})
+        elif path == "/stats":
+            self._json(200, self.service.stats())
+        elif path == "/jobs":
+            with self.service._lock:
+                records = list(self.service.jobs.values())
+            records.sort(key=lambda r: r.submitted_at, reverse=True)
+            self._json(200, {"jobs": [r.to_dict() for r in records]})
+        elif path.startswith("/jobs/"):
+            parts = path.split("/")
+            record = self.service.get(parts[2])
+            if record is None:
+                self._error(404, "not_found", "no such job %r" % parts[2])
+            elif len(parts) == 3:
+                self._json(200, record.to_dict())
+            elif len(parts) == 4 and parts[3] == "result":
+                if not record.state.terminal:
+                    self._error(
+                        409, "not_ready",
+                        "job is %s; result not ready" % record.state.value,
+                        details={"state": record.state.value},
+                    )
+                elif record.result is None:
+                    self._error(
+                        410, "no_result",
+                        record.error or "job produced no result",
+                        details={"state": record.state.value,
+                                 "error_kind": record.error_kind},
+                    )
+                else:
+                    doc = dict(record.result)
+                    doc["job_id"] = record.job_id
+                    doc["cache_hit"] = record.cache_hit
+                    self._json(200, doc)
+            else:
+                self._error(404, "not_found", "unknown path %r" % path)
+        else:
+            self._error(404, "not_found", "unknown path %r" % path)
+
+    def do_POST(self):
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/jobs":
+            try:
+                body = self._read_body()
+            except ValueError as error:
+                self._error(400, "bad_request", str(error))
+                return
+            try:
+                record = self.service.submit(body)
+            except AdmissionRejected as rejected:
+                rejection = rejected.rejection
+                status = 429 if rejection.code in _TOO_MANY else 400
+                headers = (
+                    {"Retry-After": "1"} if rejection.code in _RETRYABLE else None
+                )
+                self._json(status, {"error": rejection.to_dict()}, headers=headers)
+            except ValueError as error:
+                self._error(400, "bad_request", str(error))
+            else:
+                self._json(202, record.to_dict())
+        elif path.startswith("/jobs/") and path.endswith("/cancel"):
+            job_id = path.split("/")[2]
+            if self.service.get(job_id) is None:
+                self._error(404, "not_found", "no such job %r" % job_id)
+            else:
+                cancelled = self.service.cancel(job_id)
+                self._json(
+                    200 if cancelled else 409,
+                    {"job_id": job_id, "cancelled": cancelled},
+                )
+        else:
+            self._error(404, "not_found", "unknown path %r" % path)
+
+    # ------------------------------------------------------------------
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError("invalid JSON body: %s" % error)
+
+    def _error(self, status, code, reason, details=None, headers=None):
+        """Every error body shares the rejection document's shape."""
+        rejection = Rejection(code=code, reason=reason, details=details or {})
+        self._json(status, {"error": rejection.to_dict()}, headers=headers)
+
+    def _json(self, status, payload, headers=None):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ServeHTTPServer:
+    """Owns the listening socket and its dispatcher thread.
+
+    >>> server = ServeHTTPServer(service, host="127.0.0.1", port=0)
+    >>> server.start()   # returns the bound (host, port)
+    >>> ...
+    >>> server.close()
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=8080, verbose=False):
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.service = service
+        self._httpd.verbose = verbose
+        self._httpd.daemon_threads = True
+        self._thread = None
+
+    @property
+    def address(self):
+        return self._httpd.server_address[:2]
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def close(self):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,0 +1,151 @@
+"""Weighted fair-share scheduling across tenants (stride scheduling).
+
+Each tenant owns a FIFO of pending jobs and a *pass* value that advances
+by ``stride = STRIDE_SCALE / weight`` every time one of its jobs is
+dispatched; the scheduler always dispatches the backlogged tenant with
+the lowest effective pass. Over any busy interval tenants therefore
+receive service in proportion to their weights, while submissions within
+one tenant never reorder.
+
+Two refinements keep the textbook scheme honest under serving traffic:
+
+* **idle re-entry**: a tenant that went idle re-enters at the current
+  minimum pass instead of its stale (tiny) pass, so sleeping does not
+  bank credit that would later starve everyone else; and
+* **starvation aging**: the effective pass of a backlogged tenant drops
+  by ``aging_rate`` per second its head job has waited, so even a
+  weight-0.01 tenant is eventually served no matter how fast heavier
+  tenants submit.
+"""
+
+import threading
+import time
+from collections import deque
+
+STRIDE_SCALE = 1000.0
+
+
+class FairShareQueue:
+    """A thread-safe, tenant-fair priority queue of schedulable items.
+
+    :param default_weight: share weight for tenants without an explicit
+        one (set via :meth:`set_weight`).
+    :param aging_rate: pass units forgiven per second of head-of-line
+        wait (0 disables aging).
+    :param clock: injectable time source (tests use a fake).
+    """
+
+    def __init__(self, default_weight=1.0, aging_rate=0.0, clock=time.monotonic):
+        self.default_weight = float(default_weight)
+        self.aging_rate = float(aging_rate)
+        self._clock = clock
+        self._weights = {}
+        self._passes = {}
+        self._global_pass = 0.0  # virtual time: the max pass ever dispatched to
+        self._pending = {}  # tenant -> deque of (enqueued_at, item)
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def set_weight(self, tenant, weight):
+        if weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        with self._lock:
+            self._weights[tenant] = float(weight)
+
+    def weight(self, tenant):
+        return self._weights.get(tenant, self.default_weight)
+
+    def _stride(self, tenant):
+        return STRIDE_SCALE / self.weight(tenant)
+
+    # ------------------------------------------------------------------
+    def push(self, tenant, item):
+        """Enqueue ``item`` for ``tenant`` (FIFO within the tenant)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            backlog = self._pending.get(tenant)
+            if backlog is None:
+                backlog = self._pending[tenant] = deque()
+            if not backlog:
+                # First appearance or idle re-entry: enter at the busy
+                # tenants' floor — or, when everyone is idle, at the
+                # global virtual time — so time spent away banks no
+                # credit to burst with later.
+                floor = self._entry_floor()
+                self._passes[tenant] = max(self._passes.get(tenant, floor), floor)
+            backlog.append((self._clock(), item))
+            self._size += 1
+            self._available.notify()
+
+    def _entry_floor(self):
+        busy = [self._passes[t] for t, q in self._pending.items() if q]
+        return min(busy) if busy else self._global_pass
+
+    def _effective_pass(self, tenant, now):
+        head_wait = now - self._pending[tenant][0][0]
+        return self._passes[tenant] - self.aging_rate * max(head_wait, 0.0)
+
+    def pop(self, timeout=None):
+        """Dequeue the fair-share-next item, or ``None`` on timeout/close."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            while True:
+                if self._size:
+                    now = self._clock()
+                    tenant = min(
+                        (t for t, q in self._pending.items() if q),
+                        key=lambda t: (self._effective_pass(t, now), t),
+                    )
+                    _enqueued, item = self._pending[tenant].popleft()
+                    self._passes[tenant] += self._stride(tenant)
+                    self._global_pass = max(self._global_pass, self._passes[tenant])
+                    self._size -= 1
+                    return item
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._available.wait()
+                else:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or not self._available.wait(remaining):
+                        if self._size == 0:
+                            return None
+
+    def remove(self, predicate):
+        """Drop queued items matching ``predicate``; returns those removed."""
+        removed = []
+        with self._lock:
+            for tenant, backlog in self._pending.items():
+                kept = deque()
+                for entry in backlog:
+                    if predicate(entry[1]):
+                        removed.append(entry[1])
+                    else:
+                        kept.append(entry)
+                self._pending[tenant] = kept
+            self._size -= len(removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    def depth(self, tenant=None):
+        with self._lock:
+            if tenant is not None:
+                return len(self._pending.get(tenant, ()))
+            return self._size
+
+    def depth_by_tenant(self):
+        with self._lock:
+            return {t: len(q) for t, q in self._pending.items() if q}
+
+    def close(self):
+        """Wake every blocked :meth:`pop` with ``None``; reject pushes."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    def __len__(self):
+        return self.depth()

@@ -1,0 +1,638 @@
+"""The multi-tenant job service: one resident cluster, many jobs.
+
+:class:`JobService` turns the one-shot driver into a long-running server
+(the Quegel move: a Pregel engine becomes a query service once jobs
+share the loaded infrastructure). It owns a single
+:class:`~repro.hyracks.engine.HyracksCluster` and
+:class:`~repro.hdfs.MiniDFS`, keeps named datasets resident in the DFS,
+and executes submitted jobs concurrently on a pool of dispatcher
+threads. Each job gets its own driver and a run-id-scoped temp
+namespace (indexes, message files, DFS scratch) over the *shared*,
+thread-safe buffer caches and file managers from DESIGN.md §13 — so
+concurrent jobs are bit-identical to the same jobs run back to back.
+
+The pipeline per submission is admission → fair-share queue → dispatch
+→ (result cache) — see DESIGN.md §14. Job failures route through the
+standard failure classification: transient faults are retried (bounded),
+fatal ones fail only that job; the service itself never dies with a job.
+"""
+
+import hashlib
+import os
+import threading
+import time
+
+from repro.common.errors import ReproError
+from repro.hdfs import MiniDFS
+from repro.hyracks.engine import HyracksCluster
+from repro.pregelix.failure import failure_cause, is_transient
+from repro.pregelix.runtime import PregelixDriver
+from repro.serve.admission import (
+    ADMIT,
+    REJECT,
+    AdmissionController,
+    TenantQuota,
+)
+from repro.serve.api import (
+    REJECT_BAD_REQUEST,
+    REJECT_DRAINING,
+    REJECT_UNKNOWN_ALGORITHM,
+    REJECT_UNKNOWN_DATASET,
+    SERVABLE_ALGORITHMS,
+    AdmissionRejected,
+    JobRecord,
+    JobRequest,
+    JobState,
+    Rejection,
+    next_job_id,
+    result_document,
+)
+from repro.serve.cache import PlanCache, ResultCache, plan_class
+from repro.serve.queue import FairShareQueue
+from repro.telemetry import Telemetry
+
+
+class Dataset:
+    """A graph kept resident in the service's DFS."""
+
+    def __init__(self, name, path, digest, nbytes, num_files):
+        self.name = name
+        self.path = path
+        self.digest = digest
+        self.nbytes = nbytes
+        self.num_files = num_files
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "path": self.path,
+            "digest": self.digest,
+            "bytes": self.nbytes,
+            "files": self.num_files,
+        }
+
+
+class JobService:
+    """A long-running, multi-tenant Pregelix job service.
+
+    :param num_nodes: simulated machines in the owned cluster (ignored
+        when ``cluster`` is handed in).
+    :param workers: dispatcher threads — the job-level concurrency.
+    :param parallelism: per-job operator-clone concurrency (DESIGN.md §13).
+    :param quotas: ``{tenant: TenantQuota}``.
+    :param result_cache_capacity: LRU entries (0 disables result caching).
+    :param job_attempts: executions per job before a recoverable failure
+        becomes the job's final FAILED state (transients within a run are
+        already retried by the driver; this covers whole-run replays).
+    """
+
+    def __init__(
+        self,
+        num_nodes=4,
+        workers=2,
+        parallelism=1,
+        node_memory_bytes=None,
+        quotas=None,
+        default_quota=None,
+        aging_rate=1.0,
+        result_cache_capacity=64,
+        job_attempts=2,
+        telemetry=None,
+        cluster=None,
+        dfs=None,
+    ):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if cluster is None:
+            kwargs = {"num_nodes": num_nodes, "telemetry": self.telemetry,
+                      "parallelism": parallelism}
+            if node_memory_bytes is not None:
+                kwargs["node_memory_bytes"] = int(node_memory_bytes)
+            cluster = HyracksCluster(**kwargs)
+            self._owns_cluster = True
+        else:
+            self._owns_cluster = False
+        self.cluster = cluster
+        self.dfs = dfs if dfs is not None else MiniDFS(datanodes=cluster.node_ids())
+        self.admission = AdmissionController(
+            cluster, quotas=quotas, default_quota=default_quota,
+            telemetry=self.telemetry,
+        )
+        self.queue = FairShareQueue(aging_rate=aging_rate)
+        for tenant, quota in self.admission.quotas.items():
+            self.queue.set_weight(tenant, quota.weight)
+        self.result_cache = (
+            ResultCache(result_cache_capacity, telemetry=self.telemetry)
+            if result_cache_capacity
+            else None
+        )
+        self.plan_cache = PlanCache()
+        self.job_attempts = max(int(job_attempts), 1)
+        self.datasets = {}
+        self.jobs = {}
+        self.started_at = None
+        self._num_workers = max(int(workers), 1)
+        self._threads = []
+        self._lock = threading.RLock()
+        self._capacity = threading.Condition(self._lock)
+        self._reserved_bytes = 0
+        self._running = {}  # job_id -> JobRecord popped off the queue
+        self._executing = {}  # job_id -> JobRecord past the dispatch gate
+        self._state = "new"  # new / serving / draining / stopped
+        self._rejections = 0
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+    def add_dataset(self, name, vertices=None, local_dir=None, num_files=None):
+        """Load a graph into the resident DFS under ``/serve/datasets/``.
+
+        :param vertices: an iterable of ``(vid, value, edges)`` tuples, or
+        :param local_dir: a directory of part files to ingest verbatim.
+        """
+        from repro.graphs.io import write_graph_to_dfs
+
+        if (vertices is None) == (local_dir is None):
+            raise ReproError("add_dataset needs exactly one of vertices/local_dir")
+        path = "/serve/datasets/%s" % name
+        if num_files is None:
+            num_files = max(len(self.cluster.alive_node_ids()), 1)
+        if vertices is not None:
+            write_graph_to_dfs(self.dfs, path, iter(vertices), num_files=num_files)
+        else:
+            part_files = sorted(
+                entry for entry in os.listdir(local_dir)
+                if os.path.isfile(os.path.join(local_dir, entry))
+            )
+            if not part_files:
+                raise ReproError("no input files in %s" % local_dir)
+            for entry in part_files:
+                with open(os.path.join(local_dir, entry)) as handle:
+                    self.dfs.write("%s/%s" % (path, entry), handle.read())
+        digest = hashlib.sha256()
+        files = sorted(self.dfs.list_files(path))
+        for file_path in files:
+            digest.update(file_path.encode())
+            digest.update(self.dfs.read(file_path))
+        dataset = Dataset(
+            name=name,
+            path=path,
+            digest=digest.hexdigest()[:16],
+            nbytes=self.dfs.total_bytes(path),
+            num_files=len(files),
+        )
+        with self._lock:
+            self.datasets[name] = dataset
+        self.telemetry.event(
+            "serve.dataset", category="serve", dataset=name,
+            bytes=dataset.nbytes, digest=dataset.digest,
+        )
+        return dataset
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        with self._lock:
+            if self._state == "serving":
+                return self
+            if self._state == "stopped":
+                raise ReproError("service already stopped")
+            self._state = "serving"
+            self.started_at = time.time()
+            for i in range(self._num_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name="serve-worker-%d" % i,
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        self.telemetry.event(
+            "serve.start", category="serve", workers=self._num_workers,
+            nodes=len(self.cluster.nodes),
+        )
+        return self
+
+    def drain(self, timeout=None):
+        """Stop admitting, finish every queued and in-flight job.
+
+        Returns ``True`` when everything completed within ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            if self._state == "serving":
+                self._state = "draining"
+        self.telemetry.event("serve.drain", category="serve")
+        while True:
+            with self._lock:
+                idle = not self._running and len(self.queue) == 0
+            if idle:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.01)
+
+    def shutdown(self, drain=True, timeout=None):
+        """Drain (optionally), stop the workers, release the cluster."""
+        drained = self.drain(timeout=timeout) if drain else False
+        if not drain:
+            with self._lock:
+                self._state = "draining"
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        with self._lock:
+            self._state = "stopped"
+        if self._owns_cluster:
+            self.cluster.close()
+        self.telemetry.event("serve.stop", category="serve", drained=drained)
+        return drained
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request):
+        """Admit ``request``; returns its :class:`JobRecord`.
+
+        Raises :class:`AdmissionRejected` (with a structured
+        :class:`Rejection`) instead of queueing work that cannot run.
+        A result-cache hit returns an already-SUCCEEDED record without
+        touching the queue.
+        """
+        if isinstance(request, dict):
+            request = JobRequest.from_dict(request)
+        self.telemetry.event(
+            "serve.submit", category="serve", tenant=request.tenant,
+            algorithm=request.algorithm, dataset=request.dataset,
+        )
+        self.telemetry.registry.counter("serve.submitted", tenant=request.tenant).inc()
+        rejection = self._validate(request)
+        if rejection is not None:
+            return self._reject(request, rejection)
+
+        dataset = self.datasets[request.dataset]
+        record = JobRecord(job_id=next_job_id(), request=request)
+
+        # Serve repeats straight from the cache — no admission, no queue.
+        cached = self._cached_result(request, dataset)
+        if cached is not None:
+            record.cache_hit = True
+            record.result = dict(cached)
+            record.mark(JobState.SUCCEEDED)
+            with self._lock:
+                self.jobs[record.job_id] = record
+            self.telemetry.event(
+                "serve.complete", category="serve", job_id=record.job_id,
+                tenant=request.tenant, cache_hit=True,
+            )
+            return record
+
+        with self._lock:
+            decision = self.admission.decide(
+                request,
+                dataset_bytes=dataset.nbytes,
+                running_estimated_bytes=self._reserved_bytes,
+                running_by_tenant=self._tenant_running(request.tenant),
+                queued_by_tenant=self.queue.depth(request.tenant),
+            )
+            if decision.action == REJECT:
+                pass  # fall through to the structured reject below
+            else:
+                record.estimated_bytes = decision.estimated_bytes
+                self.jobs[record.job_id] = record
+                record.mark(JobState.QUEUED)
+                self.queue.push(request.tenant, record)
+                self._observe_queue_depth()
+        if decision.action == REJECT:
+            return self._reject(request, decision.rejection)
+        self.telemetry.event(
+            "serve.admit", category="serve", job_id=record.job_id,
+            tenant=request.tenant, action=decision.action,
+            estimated_bytes=decision.estimated_bytes, reason=decision.reason,
+        )
+        return record
+
+    def _validate(self, request):
+        with self._lock:
+            if self._state != "serving":
+                return Rejection(
+                    code=REJECT_DRAINING,
+                    reason="service is %s and not accepting jobs" % self._state,
+                    details={"state": self._state},
+                )
+        if request.algorithm not in SERVABLE_ALGORITHMS:
+            return Rejection(
+                code=REJECT_UNKNOWN_ALGORITHM,
+                reason="unknown algorithm %r" % request.algorithm,
+                details={"known": sorted(SERVABLE_ALGORITHMS)},
+            )
+        if request.dataset not in self.datasets:
+            return Rejection(
+                code=REJECT_UNKNOWN_DATASET,
+                reason="unknown dataset %r" % request.dataset,
+                details={"known": sorted(self.datasets)},
+            )
+        if request.plan is not None:
+            try:
+                self._parse_plan(request.plan)
+            except ValueError as error:
+                return Rejection(
+                    code=REJECT_BAD_REQUEST,
+                    reason=str(error),
+                    details={"plan": request.plan},
+                )
+        try:
+            # Front-load parameter errors: a job that cannot even be
+            # constructed must never consume a queue slot.
+            self._build_job(request)
+        except (ReproError, TypeError, ValueError) as error:
+            return Rejection(
+                code=REJECT_BAD_REQUEST,
+                reason=str(error),
+                details={"params": dict(request.params)},
+            )
+        return None
+
+    def _reject(self, request, rejection):
+        self._rejections += 1
+        self.telemetry.event(
+            "serve.reject", category="serve", tenant=request.tenant,
+            code=rejection.code, reason=rejection.reason,
+        )
+        self.telemetry.registry.counter(
+            "serve.rejected", tenant=request.tenant, code=rejection.code
+        ).inc()
+        raise AdmissionRejected(rejection)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, job_id):
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def cancel(self, job_id):
+        """Cancel a queued job; running jobs are not preempted."""
+        with self._lock:
+            record = self.jobs.get(job_id)
+            if record is None or record.state is not JobState.QUEUED:
+                return False
+            removed = self.queue.remove(lambda item: item.job_id == job_id)
+            if not removed:
+                return False
+            record.mark(JobState.CANCELLED)
+            self._observe_queue_depth()
+        self.telemetry.event("serve.cancel", category="serve", job_id=job_id)
+        return True
+
+    def stats(self):
+        with self._lock:
+            by_state = {}
+            for record in self.jobs.values():
+                by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+            doc = {
+                "state": self._state,
+                "uptime_seconds": (
+                    time.time() - self.started_at if self.started_at else 0.0
+                ),
+                "workers": self._num_workers,
+                "nodes": len(self.cluster.alive_node_ids()),
+                "jobs": by_state,
+                "jobs_total": len(self.jobs),
+                "rejected": self._rejections,
+                "running": sorted(self._running),
+                "queue_depth": len(self.queue),
+                "queue_by_tenant": self.queue.depth_by_tenant(),
+                "reserved_bytes": self._reserved_bytes,
+                "datasets": {
+                    name: ds.to_dict() for name, ds in self.datasets.items()
+                },
+                "plan_cache_entries": len(self.plan_cache),
+            }
+        if self.result_cache is not None:
+            doc["result_cache"] = self.result_cache.stats()
+        doc["jobs_executed"] = self.cluster.jobs_executed
+        return doc
+
+    def healthy(self):
+        with self._lock:
+            return self._state in ("serving", "draining") and bool(
+                self.cluster.alive_node_ids()
+            )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _worker_loop(self):
+        while True:
+            record = self.queue.pop(timeout=0.1)
+            if record is None:
+                with self._lock:
+                    if self._state in ("draining", "stopped") and len(self.queue) == 0:
+                        return
+                continue
+            if record.state is not JobState.QUEUED:
+                continue  # cancelled while queued but before removal
+            self._observe_queue_depth()
+            estimate = record.estimated_bytes
+            with self._capacity:
+                # Visible to drain() from the moment it left the queue.
+                self._running[record.job_id] = record
+                while not self._may_start(record):
+                    self._capacity.wait(timeout=0.5)
+                self._reserved_bytes += estimate
+                self._executing[record.job_id] = record
+            try:
+                self._execute(record)
+            finally:
+                with self._capacity:
+                    self._reserved_bytes -= estimate
+                    del self._executing[record.job_id]
+                    del self._running[record.job_id]
+                    self._capacity.notify_all()
+
+    def _may_start(self, record):
+        """Dispatch gate: never over-commit memory or a tenant's run cap."""
+        if self._reserved_bytes == 0 and not self._executing:
+            return True  # a lone job may always run (it passed admission)
+        quota = self.admission.quota(record.request.tenant)
+        if self._tenant_running(record.request.tenant) >= quota.max_running:
+            return False
+        capacity = self.admission.aggregate_capacity()
+        free = min(self.admission.aggregate_free(), capacity - self._reserved_bytes)
+        return record.estimated_bytes <= free
+
+    def _tenant_running(self, tenant):
+        return sum(
+            1 for record in self._executing.values()
+            if record.request.tenant == tenant
+        )
+
+    def _observe_queue_depth(self):
+        self.telemetry.registry.gauge("serve.queue_depth").set(len(self.queue))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, record):
+        request = record.request
+        record.mark(JobState.RUNNING)
+        self.telemetry.event(
+            "serve.job_start", category="serve", job_id=record.job_id,
+            tenant=request.tenant, algorithm=request.algorithm,
+        )
+        dataset = self.datasets[request.dataset]
+        last_error = None
+        for attempt in range(1, self.job_attempts + 1):
+            record.attempts = attempt
+            try:
+                self._run_once(record, dataset)
+                record.mark(JobState.SUCCEEDED)
+                self.telemetry.event(
+                    "serve.complete", category="serve", job_id=record.job_id,
+                    tenant=request.tenant, cache_hit=False,
+                    attempts=attempt,
+                )
+                self.telemetry.registry.counter(
+                    "serve.succeeded", tenant=request.tenant
+                ).inc()
+                return
+            except Exception as error:  # one job's failure never kills the service
+                last_error = error
+                kind = self._failure_kind(error)
+                record.error = str(error)
+                record.error_kind = kind
+                self.telemetry.event(
+                    "serve.job_failure", category="serve", job_id=record.job_id,
+                    tenant=request.tenant, kind=kind, attempt=attempt,
+                    error=str(error),
+                )
+                if kind != "transient" or attempt >= self.job_attempts:
+                    break
+                self.telemetry.event(
+                    "serve.retry", category="serve", job_id=record.job_id,
+                    attempt=attempt,
+                )
+        record.error = str(last_error)
+        record.mark(JobState.FAILED)
+        self.telemetry.registry.counter(
+            "serve.failed", tenant=request.tenant
+        ).inc()
+
+    @staticmethod
+    def _failure_kind(error):
+        """``transient`` / ``recoverable`` / ``fatal`` for a whole-run error.
+
+        Reuses the PR 3 classification: transients that exhausted the
+        driver's in-place retries are worth one whole-run replay (the
+        machine is healthy); attributed machine losses already went
+        through checkpoint recovery inside the driver, so if they still
+        surface here the run is not salvageable and the job fails.
+        """
+        if is_transient(error):
+            return "transient"
+        cause = failure_cause(error)
+        if cause is not None:
+            return "recoverable"
+        return "fatal"
+
+    def _run_once(self, record, dataset):
+        request = record.request
+        job = self._build_job(request)
+        driver = PregelixDriver(self.cluster, self.dfs)
+        output_path = "/serve/jobs/%s/out" % record.job_id
+        module, _params = SERVABLE_ALGORITHMS[request.algorithm]
+        import importlib
+
+        algorithm_module = importlib.import_module(module)
+        try:
+            outcome = driver.run(
+                job,
+                dataset.path,
+                output_path=output_path,
+                parse_line=getattr(algorithm_module, "parse_line", None),
+                format_record=getattr(algorithm_module, "format_record", None),
+            )
+            record.run_id = outcome.run_id
+            results = driver.read_output(output_path)
+            record.result = result_document(
+                request.algorithm, job, outcome, results=results
+            )
+            self._remember(request, dataset, job, record.result)
+        finally:
+            # The job's DFS scratch is not needed once the document is
+            # built; the run's indexes/message files were cleaned by the
+            # driver already.
+            self.dfs.delete("/serve/jobs/%s" % record.job_id, recursive=True)
+
+    def _build_job(self, request):
+        import importlib
+
+        module_name, param_names = SERVABLE_ALGORITHMS[request.algorithm]
+        module = importlib.import_module(module_name)
+        kwargs = {
+            name: request.params[name]
+            for name in param_names
+            if name in request.params
+        }
+        unknown = set(request.params) - set(param_names)
+        if unknown:
+            raise ReproError(
+                "algorithm %r takes no parameter(s) %s"
+                % (request.algorithm, ", ".join(sorted(unknown)))
+            )
+        job = module.build_job(**kwargs)
+        if request.max_supersteps is not None:
+            job.max_supersteps = int(request.max_supersteps)
+        if request.plan is not None:
+            self._parse_plan(request.plan).apply(job)
+        elif request.optimize:
+            job.auto_optimize = True
+        else:
+            dataset = self.datasets[request.dataset]
+            self.plan_cache.apply(dataset.digest, request.algorithm, job)
+        return job
+
+    @staticmethod
+    def _parse_plan(signature):
+        from repro.chaos.differential import PlanChoice
+
+        return PlanChoice.parse(signature)
+
+    # ------------------------------------------------------------------
+    # caching
+    # ------------------------------------------------------------------
+    def _cache_key(self, request, dataset):
+        job = self._build_job(request)
+        return ResultCache.make_key(
+            dataset.digest, request.algorithm, request.params_key(),
+            plan_class(job),
+        )
+
+    def _cached_result(self, request, dataset):
+        if self.result_cache is None or not request.use_cache:
+            return None
+        if request.optimize:
+            return None  # the optimizer may end on any plan class
+        try:
+            key = self._cache_key(request, dataset)
+        except (ReproError, ValueError):
+            return None  # invalid request; let admission produce the error
+        return self.result_cache.get(key)
+
+    def _remember(self, request, dataset, job, document):
+        self.plan_cache.remember(dataset.digest, request.algorithm, job)
+        if self.result_cache is None or not request.use_cache:
+            return
+        key = ResultCache.make_key(
+            dataset.digest, request.algorithm, request.params_key(),
+            plan_class(job),
+        )
+        self.result_cache.put(key, document)

@@ -1,0 +1,149 @@
+"""The stdlib HTTP front end: real sockets, real status codes."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import JobService, ServeHTTPServer, TenantQuota
+
+WAIT = 120
+
+
+@pytest.fixture
+def served(serve_graph):
+    service = JobService(
+        num_nodes=3,
+        workers=2,
+        quotas={"bob": TenantQuota(memory_fraction=1e-9)},
+    )
+    service.add_dataset("g", vertices=serve_graph)
+    service.start()
+    server = ServeHTTPServer(service, port=0)  # ephemeral port
+    host, port = server.start()
+    yield service, "http://%s:%d" % (host, port)
+    server.close()
+    service.shutdown(timeout=WAIT)
+
+
+def http(base, method, path, body=None, raw=None):
+    data = raw if raw is not None else (
+        json.dumps(body).encode() if body is not None else None
+    )
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _service, base = served
+        status, doc, _ = http(base, "GET", "/healthz")
+        assert status == 200
+        assert doc == {"ok": True, "state": "serving"}
+
+    def test_submit_poll_result_roundtrip(self, served):
+        service, base = served
+        status, record, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "cc", "dataset": "g"},
+        )
+        assert status == 202
+        job_id = record["job_id"]
+        assert service.get(job_id).wait(WAIT) is not None
+        status, record, _ = http(base, "GET", "/jobs/%s" % job_id)
+        assert status == 200
+        assert record["state"] == "succeeded"
+        status, result, _ = http(base, "GET", "/jobs/%s/result" % job_id)
+        assert status == 200
+        assert result["job_id"] == job_id
+        assert result["algorithm"] == "cc"
+        assert len(result["results"]) == 40
+
+    def test_unknown_job_is_404(self, served):
+        _service, base = served
+        status, doc, _ = http(base, "GET", "/jobs/job-999999")
+        assert status == 404
+        assert "error" in doc
+        status, _doc, _ = http(base, "GET", "/jobs/job-999999/result")
+        assert status == 404
+
+    def test_unknown_path_is_404(self, served):
+        _service, base = served
+        status, _doc, _ = http(base, "GET", "/nope")
+        assert status == 404
+
+    def test_malformed_body_is_400(self, served):
+        _service, base = served
+        status, doc, _ = http(base, "POST", "/jobs", raw=b"{not json")
+        assert status == 400
+        assert "error" in doc
+
+    def test_missing_fields_are_400(self, served):
+        _service, base = served
+        status, doc, _ = http(base, "POST", "/jobs", body={"tenant": "a"})
+        assert status == 400
+        assert "missing required field" in doc["error"]["reason"]
+
+    def test_over_quota_is_429_with_structured_body(self, served):
+        _service, base = served
+        status, doc, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "bob", "algorithm": "cc", "dataset": "g",
+                  "use_cache": False},
+        )
+        assert status == 429
+        rejection = doc["error"]
+        assert rejection["code"] == "over_memory"
+        assert rejection["details"]["allowed_bytes"] == 0
+
+    def test_unknown_algorithm_is_400(self, served):
+        _service, base = served
+        status, doc, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "quicksort", "dataset": "g"},
+        )
+        assert status == 400
+        assert doc["error"]["code"] == "unknown_algorithm"
+
+    def test_jobs_listing_and_stats(self, served):
+        service, base = served
+        _status, record, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "cc", "dataset": "g"},
+        )
+        service.get(record["job_id"]).wait(WAIT)
+        status, listing, _ = http(base, "GET", "/jobs")
+        assert status == 200
+        assert any(job["job_id"] == record["job_id"] for job in listing["jobs"])
+        status, stats, _ = http(base, "GET", "/stats")
+        assert status == 200
+        assert stats["jobs"]["succeeded"] >= 1
+        assert stats["datasets"]["g"]["files"] == 3
+
+    def test_result_of_cached_repeat(self, served):
+        service, base = served
+        _status, first, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "cc", "dataset": "g"},
+        )
+        service.get(first["job_id"]).wait(WAIT)
+        status, repeat, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "cc", "dataset": "g"},
+        )
+        assert status == 202
+        assert repeat["cache_hit"] is True
+        assert repeat["state"] == "succeeded"
+        status, result, _ = http(
+            base, "GET", "/jobs/%s/result" % repeat["job_id"]
+        )
+        assert status == 200
+        assert result["cache_hit"] is True

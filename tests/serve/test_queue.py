@@ -1,0 +1,173 @@
+"""Fair-share queue: FIFO within tenant, weighted across, aging, close."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import FairShareQueue
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestFifoWithinTenant:
+    def test_one_tenant_is_fifo(self):
+        queue = FairShareQueue()
+        for item in range(5):
+            queue.push("a", item)
+        assert [queue.pop(timeout=0) for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_times_out(self):
+        assert FairShareQueue().pop(timeout=0.01) is None
+
+
+class TestWeightedShare:
+    def test_equal_weights_alternate(self):
+        queue = FairShareQueue()
+        for item in range(4):
+            queue.push("a", ("a", item))
+            queue.push("b", ("b", item))
+        tenants = [queue.pop(timeout=0)[0] for _ in range(8)]
+        assert tenants == ["a", "b", "a", "b", "a", "b", "a", "b"]
+
+    def test_three_to_one_weights(self):
+        queue = FairShareQueue()
+        queue.set_weight("a", 3.0)
+        queue.set_weight("b", 1.0)
+        for item in range(8):
+            queue.push("a", ("a", item))
+            queue.push("b", ("b", item))
+        tenants = [queue.pop(timeout=0)[0] for _ in range(8)]
+        # Stride scheduling: every 1000-pass window serves a 3x.
+        assert tenants == ["a", "b", "a", "a", "a", "b", "a", "a"]
+        assert tenants.count("a") == 3 * tenants.count("b")
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairShareQueue().set_weight("a", 0)
+
+    def test_idle_reentry_banks_no_credit(self):
+        """A tenant returning from idle may not burst ahead of the busy one."""
+        queue = FairShareQueue()
+        queue.push("a", "a0")
+        queue.push("b", "b0")
+        assert queue.pop(timeout=0) == "a0"
+        assert queue.pop(timeout=0) == "b0"
+        # b stays busy for a while; a sleeps.
+        for item in range(4):
+            queue.push("b", "b%d" % (item + 1))
+        for _ in range(4):
+            queue.pop(timeout=0)
+        # a returns: it re-enters at b's pass, so service alternates
+        # instead of a draining its backlog first.
+        for item in range(3):
+            queue.push("a", ("a", item))
+            queue.push("b", ("b", item))
+        tenants = [queue.pop(timeout=0)[0] for _ in range(6)]
+        assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+
+class TestAging:
+    def _tied_queue(self, aging_rate, clock):
+        """Both tenants at pass 1000; z's head has waited 50s, a's 0s."""
+        queue = FairShareQueue(aging_rate=aging_rate, clock=clock)
+        queue.push("a", "a0")
+        queue.push("z", "z0")
+        queue.push("z", "z1")
+        assert queue.pop(timeout=0) == "a0"
+        assert queue.pop(timeout=0) == "z0"
+        clock.advance(50.0)
+        queue.push("a", "a1")
+        return queue
+
+    def test_without_aging_ties_break_by_name(self):
+        queue = self._tied_queue(aging_rate=0.0, clock=FakeClock())
+        assert queue.pop(timeout=0) == "a1"
+
+    def test_aging_prefers_the_longest_waiting_head(self):
+        # z1 has waited 50s: its effective pass drops by 500, beating
+        # the name tie-break that would otherwise pick 'a'.
+        queue = self._tied_queue(aging_rate=10.0, clock=FakeClock())
+        assert queue.pop(timeout=0) == "z1"
+
+    def _pops_until_lightweight_served(self, aging_rate):
+        """Dispatches until 'z1' (weight 0.01, pass 100000) is served
+        against a continuously churning weight-1.0 tenant whose head is
+        always fresh."""
+        clock = FakeClock()
+        queue = FairShareQueue(aging_rate=aging_rate, clock=clock)
+        queue.set_weight("zeta", 0.01)  # stride 100000
+        queue.push("zeta", "z0")
+        queue.push("alpha", "a0")
+        queue.push("alpha", "a1")
+        assert queue.pop(timeout=0) == "a0"  # name tie-break
+        assert queue.pop(timeout=0) == "z0"  # zeta's pass -> 100000
+        queue.push("zeta", "z1")
+        for attempt in range(1, 250):
+            clock.advance(1.0)
+            queue.push("alpha", "a%d" % (attempt + 1))
+            if queue.pop(timeout=0) == "z1":
+                return attempt
+        raise AssertionError("z1 was never served")
+
+    def test_aging_forgives_the_pass_gap_over_time(self):
+        # Without aging zeta waits out the full 100000-pass gap at
+        # 1000/dispatch; with aging the gap is also forgiven at 1000/s
+        # of head wait, roughly halving the starvation window.
+        unaged = self._pops_until_lightweight_served(aging_rate=0.0)
+        aged = self._pops_until_lightweight_served(aging_rate=1000.0)
+        assert aged < unaged
+        assert aged <= 60
+
+
+class TestRemoveAndDepth:
+    def test_remove_by_predicate(self):
+        queue = FairShareQueue()
+        for item in range(4):
+            queue.push("a", item)
+        removed = queue.remove(lambda item: item % 2 == 0)
+        assert removed == [0, 2]
+        assert len(queue) == 2
+        assert [queue.pop(timeout=0) for _ in range(2)] == [1, 3]
+
+    def test_depth_by_tenant(self):
+        queue = FairShareQueue()
+        queue.push("a", 1)
+        queue.push("a", 2)
+        queue.push("b", 3)
+        assert queue.depth("a") == 2
+        assert queue.depth("b") == 1
+        assert queue.depth("c") == 0
+        assert queue.depth_by_tenant() == {"a": 2, "b": 1}
+        assert len(queue) == 3
+
+
+class TestClose:
+    def test_close_wakes_blocked_pop(self):
+        queue = FairShareQueue()
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.pop()))
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_push_after_close_rejected(self):
+        queue = FairShareQueue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.push("a", 1)
+
+    def test_pop_after_close_drains_nothing(self):
+        queue = FairShareQueue()
+        queue.close()
+        assert queue.pop(timeout=0) is None

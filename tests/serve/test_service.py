@@ -1,0 +1,268 @@
+"""JobService end to end: lifecycle, caching, rejection, failure, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import TransientIOError
+from repro.serve import (
+    AdmissionRejected,
+    JobRequest,
+    JobService,
+    JobState,
+    TenantQuota,
+)
+
+WAIT = 120  # generous terminal-state timeout for CI machines
+
+
+@pytest.fixture
+def service(serve_graph):
+    svc = JobService(
+        num_nodes=3,
+        workers=2,
+        quotas={
+            "alice": TenantQuota(weight=2.0),
+            "bob": TenantQuota(memory_fraction=1e-9),
+        },
+    )
+    svc.add_dataset("g", vertices=serve_graph)
+    svc.start()
+    yield svc
+    svc.shutdown(timeout=WAIT)
+
+
+def submit(svc, algorithm="cc", tenant="alice", **overrides):
+    doc = {"tenant": tenant, "algorithm": algorithm, "dataset": "g"}
+    doc.update(overrides)
+    return svc.submit(doc)
+
+
+class TestLifecycle:
+    def test_submit_executes_bit_identical_to_direct_driver(
+        self, service, reference_results
+    ):
+        record = submit(service, "cc")
+        assert record.wait(WAIT) is JobState.SUCCEEDED
+        assert record.cache_hit is False
+        assert record.run_id is not None
+        doc = record.result
+        assert sorted(doc["results"]) == reference_results["cc"]
+        assert doc["algorithm"] == "cc"
+        assert doc["num_vertices"] == 40
+        assert service.get(record.job_id) is record
+        assert service.get("job-does-not-exist") is None
+
+    def test_explicit_plan_is_honored(self, service, reference_results):
+        record = submit(service, "cc", plan="loj/hashsort/unmerged/lsm")
+        assert record.wait(WAIT) is JobState.SUCCEEDED
+        plan = record.result["plan"]
+        assert "left-outer-join" in plan
+        assert "hashsort" in plan
+        assert "lsm" in plan
+        # Join strategy and storage never change result bits.
+        assert sorted(record.result["results"]) == reference_results["cc"]
+
+    def test_max_supersteps_caps_the_run(self, service):
+        record = submit(service, "pagerank",
+                        params={"iterations": 5}, max_supersteps=2,
+                        use_cache=False)
+        assert record.wait(WAIT) is JobState.SUCCEEDED
+        assert record.result["supersteps"] <= 2
+
+    def test_record_projection(self, service):
+        record = submit(service, "cc", use_cache=False)
+        record.wait(WAIT)
+        doc = record.to_dict()
+        assert doc["state"] == "succeeded"
+        assert doc["has_result"] is True
+        assert doc["request"]["algorithm"] == "cc"
+
+
+class TestResultCache:
+    def test_repeat_query_is_served_from_cache(self, service):
+        first = submit(service, "cc")
+        assert first.wait(WAIT) is JobState.SUCCEEDED
+        executed = service.cluster.jobs_executed
+        repeat = submit(service, "cc")
+        # Already terminal at submit time: no queue, no execution.
+        assert repeat.state is JobState.SUCCEEDED
+        assert repeat.cache_hit is True
+        assert repeat.result["results"] == first.result["results"]
+        assert service.cluster.jobs_executed == executed
+        assert (
+            service.telemetry.registry.counter("serve.cache_hit").value >= 1
+        )
+
+    def test_different_params_miss(self, service):
+        first = submit(service, "pagerank", params={"iterations": 2})
+        assert first.wait(WAIT) is JobState.SUCCEEDED
+        other = submit(service, "pagerank", params={"iterations": 3})
+        assert other.cache_hit is False
+        assert other.wait(WAIT) is JobState.SUCCEEDED
+
+    def test_use_cache_false_always_executes(self, service):
+        first = submit(service, "cc", use_cache=False)
+        assert first.wait(WAIT) is JobState.SUCCEEDED
+        repeat = submit(service, "cc", use_cache=False)
+        assert repeat.cache_hit is False
+        assert repeat.wait(WAIT) is JobState.SUCCEEDED
+
+    def test_plan_cache_remembers_the_proven_plan(self, service):
+        record = submit(service, "cc", plan="loj/hashsort/unmerged/lsm",
+                        use_cache=False)
+        assert record.wait(WAIT) is JobState.SUCCEEDED
+        digest = service.datasets["g"].digest
+        remembered = service.plan_cache.lookup(digest, "cc")
+        assert remembered is not None
+        assert remembered["storage"].value == "lsm-btree"
+
+
+class TestRejections:
+    def test_over_memory_is_structured(self, service):
+        with pytest.raises(AdmissionRejected) as excinfo:
+            submit(service, "cc", tenant="bob", use_cache=False)
+        rejection = excinfo.value.rejection
+        assert rejection.code == "over_memory"
+        assert rejection.details["estimated_bytes"] > rejection.details["allowed_bytes"]
+
+    def test_unknown_algorithm(self, service):
+        with pytest.raises(AdmissionRejected) as excinfo:
+            submit(service, "quicksort")
+        assert excinfo.value.rejection.code == "unknown_algorithm"
+
+    def test_unknown_dataset(self, service):
+        with pytest.raises(AdmissionRejected) as excinfo:
+            service.submit(
+                {"tenant": "alice", "algorithm": "cc", "dataset": "nope"}
+            )
+        assert excinfo.value.rejection.code == "unknown_dataset"
+
+    def test_unknown_params_rejected_up_front(self, service):
+        with pytest.raises(AdmissionRejected) as excinfo:
+            submit(service, "cc", params={"iterations": 5})
+        assert excinfo.value.rejection.code == "bad_request"
+
+    def test_bad_plan_signature(self, service):
+        with pytest.raises(AdmissionRejected) as excinfo:
+            submit(service, "cc", plan="quantum/sort/unmerged/btree")
+        assert excinfo.value.rejection.code == "bad_request"
+
+    def test_rejections_counted_in_stats(self, service):
+        with pytest.raises(AdmissionRejected):
+            submit(service, "quicksort")
+        assert service.stats()["rejected"] == 1
+
+
+class TestFailureHandling:
+    def test_fatal_failure_fails_only_that_job(self, service):
+        original = service._run_once
+
+        def explode(record, dataset):
+            raise RuntimeError("application bug")
+
+        service._run_once = explode
+        try:
+            record = submit(service, "cc", use_cache=False)
+            assert record.wait(WAIT) is JobState.FAILED
+            assert record.error_kind == "fatal"
+            assert record.attempts == 1
+            assert "application bug" in record.error
+        finally:
+            service._run_once = original
+        # The service survived: the next job runs normally.
+        healthy = submit(service, "cc", use_cache=False)
+        assert healthy.wait(WAIT) is JobState.SUCCEEDED
+        assert service.healthy()
+
+    def test_transient_failure_is_retried(self, service):
+        original = service._run_once
+        calls = []
+
+        def flaky(record, dataset):
+            calls.append(record.job_id)
+            if len(calls) == 1:
+                raise TransientIOError("node0", site="serve-test")
+            return original(record, dataset)
+
+        service._run_once = flaky
+        try:
+            record = submit(service, "cc", use_cache=False)
+            assert record.wait(WAIT) is JobState.SUCCEEDED
+            assert record.attempts == 2
+        finally:
+            service._run_once = original
+
+
+class TestDrainAndCancel:
+    def test_drain_completes_inflight_jobs(self, service):
+        records = [submit(service, "cc", use_cache=False) for _ in range(3)]
+        assert service.drain(timeout=WAIT) is True
+        assert all(r.state is JobState.SUCCEEDED for r in records)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            submit(service, "cc")
+        assert excinfo.value.rejection.code == "draining"
+
+    def test_cancel_queued_job(self, service):
+        release = threading.Event()
+        original = service._run_once
+
+        def blocked(record, dataset):
+            release.wait(WAIT)
+
+        service._run_once = blocked
+        try:
+            # Two blocked jobs occupy both workers; the third stays queued.
+            blockers = [submit(service, "cc", use_cache=False) for _ in range(2)]
+            deadline = time.monotonic() + WAIT
+            while (
+                any(r.state is not JobState.RUNNING for r in blockers)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            queued = submit(service, "cc", use_cache=False)
+            assert queued.state is JobState.QUEUED
+            assert service.cancel(queued.job_id) is True
+            assert queued.state is JobState.CANCELLED
+            # Cancelling anything non-queued is refused.
+            assert service.cancel(queued.job_id) is False
+            assert service.cancel(blockers[0].job_id) is False
+        finally:
+            release.set()
+            service._run_once = original
+        for record in blockers:
+            assert record.wait(WAIT) is JobState.SUCCEEDED
+
+    def test_stats_shape(self, service):
+        record = submit(service, "cc")
+        record.wait(WAIT)
+        stats = service.stats()
+        assert stats["state"] == "serving"
+        assert stats["workers"] == 2
+        assert stats["nodes"] == 3
+        assert stats["jobs"]["succeeded"] >= 1
+        assert stats["datasets"]["g"]["files"] == 3
+        assert "result_cache" in stats
+        assert stats["queue_depth"] == 0
+
+
+class TestRequestValidation:
+    def test_missing_fields(self):
+        with pytest.raises(ValueError):
+            JobRequest.from_dict({"tenant": "a"})
+
+    def test_params_must_be_object(self):
+        with pytest.raises(ValueError):
+            JobRequest.from_dict(
+                {"tenant": "a", "algorithm": "cc", "dataset": "g",
+                 "params": [1, 2]}
+            )
+
+    def test_params_key_is_order_independent(self):
+        a = JobRequest("t", "pagerank", "g", params={"a": 1, "b": 2})
+        b = JobRequest("t", "pagerank", "g", params={"b": 2, "a": 1})
+        assert a.params_key() == b.params_key()
+        c = JobRequest("t", "pagerank", "g", params={"a": 1, "b": 2},
+                       max_supersteps=4)
+        assert a.params_key() != c.params_key()

@@ -314,3 +314,142 @@ class TestCheckpoints:
         assert "damage detection: OK" in text
         # The damaged newest checkpoint is not the one recovery would use.
         assert "recovery would use: checkpoint" in text
+
+
+class TestRunJson:
+    @pytest.fixture
+    def chain_dir(self, tmp_path):
+        out_dir = str(tmp_path / "in")
+        run_cli(["generate", "--family", "chain", "--vertices", "15", "--out", out_dir])
+        return out_dir
+
+    def test_json_document_shape(self, chain_dir, tmp_path):
+        out_dir = str(tmp_path / "out")
+        code, lines = run_cli(
+            ["run", "sssp", "--input", chain_dir, "--output", out_dir,
+             "--nodes", "2", "--json"]
+        )
+        assert code == 0
+        document = json.loads("\n".join(lines))
+        assert document["algorithm"] == "sssp"
+        assert document["num_vertices"] == 15
+        assert document["supersteps"] > 0
+        assert len(document["results"]) == 15
+        assert document["superstep_stats"][0]["superstep"] == 1
+        # --json replaces the prose entirely: the output is one JSON blob.
+        assert lines[0].lstrip().startswith("{")
+
+    def test_json_without_output_omits_results(self, chain_dir):
+        code, lines = run_cli(
+            ["run", "cc", "--input", chain_dir, "--nodes", "2", "--json"]
+        )
+        assert code == 0
+        document = json.loads("\n".join(lines))
+        assert "results" not in document
+        assert document["algorithm"] == "cc"
+
+    def test_json_matches_served_document_shape(self, chain_dir):
+        """repro run --json and GET /jobs/<id>/result share the formatter."""
+        from repro.graphs.generators import chain_graph
+        from repro.serve import JobService
+
+        code, lines = run_cli(
+            ["run", "cc", "--input", chain_dir, "--nodes", "2", "--json"]
+        )
+        assert code == 0
+        direct = json.loads("\n".join(lines))
+
+        service = JobService(num_nodes=2, workers=1)
+        try:
+            service.add_dataset("chain", vertices=chain_graph(15))
+            service.start()
+            record = service.submit(
+                {"tenant": "t", "algorithm": "cc", "dataset": "chain"}
+            )
+            record.wait(120)
+            served = record.result
+        finally:
+            service.shutdown(timeout=120)
+        # Identical keys; identical results modulo the served copy
+        # always carrying the dumped lines.
+        assert set(direct) | {"results"} == set(served)
+        assert direct["aggregate"] == served["aggregate"]
+        assert direct["num_edges"] == served["num_edges"]
+
+
+class TestPipeline:
+    @pytest.fixture
+    def chain_dir(self, tmp_path):
+        out_dir = str(tmp_path / "in")
+        run_cli(["generate", "--family", "chain", "--vertices", "15", "--out", out_dir])
+        return out_dir
+
+    def test_compatible_jobs_share_one_segment(self, chain_dir, tmp_path):
+        out_dir = str(tmp_path / "out")
+        code, lines = run_cli(
+            ["pipeline", "cc", "reachability", "--input", chain_dir,
+             "--output", out_dir, "--nodes", "2"]
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "2 jobs in 1 segment(s)" in text
+        assert os.listdir(out_dir)
+
+    def test_json_reports_each_job(self, chain_dir):
+        code, lines = run_cli(
+            ["pipeline", "cc", "cc", "--input", chain_dir, "--nodes", "2",
+             "--json"]
+        )
+        assert code == 0
+        document = json.loads("\n".join(lines))
+        assert document["segments"] == 1
+        assert [job["algorithm"] for job in document["jobs"]] == ["cc", "cc"]
+        assert all(job["supersteps"] > 0 for job in document["jobs"])
+
+    def test_incompatible_jobs_split_segments(self, chain_dir):
+        # cc carries int component ids, sssp float distances: a type
+        # boundary forces materialization between segments.
+        code, lines = run_cli(
+            ["pipeline", "cc", "sssp", "--input", chain_dir, "--nodes", "2",
+             "--json"]
+        )
+        assert code == 0
+        document = json.loads("\n".join(lines))
+        assert document["segments"] == 2
+
+    def test_empty_input_fails(self, tmp_path):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        code, lines = run_cli(["pipeline", "cc", "--input", empty])
+        assert code == 2
+
+
+class TestServeCommand:
+    def test_smoke_passes_end_to_end(self):
+        code, lines = run_cli(["serve", "--smoke"])
+        assert code == 0
+        text = "\n".join(lines)
+        assert "serve smoke: PASS" in text
+        assert "over-quota is a structured 429" in text
+        assert "repeat is a cache hit" in text
+
+    def test_dataset_spec_parsing(self):
+        from repro.cli import _parse_serve_options
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--dataset", "web=/tmp/web",
+             "--quota", "alice=2:1:5:0.5", "--quota", "bob=1"]
+        )
+        datasets, quotas = _parse_serve_options(args)
+        assert datasets == [("web", "/tmp/web")]
+        assert quotas["alice"].max_running == 1
+        assert quotas["alice"].memory_fraction == 0.5
+        assert quotas["bob"].weight == 1.0
+
+    def test_bad_dataset_spec_is_an_error(self):
+        from repro.cli import _parse_serve_options
+
+        args = build_parser().parse_args(["serve", "--dataset", "nodir"])
+        with pytest.raises(ValueError):
+            _parse_serve_options(args)

@@ -53,7 +53,16 @@ FAULT_SITES = (
     # DFS level: any MiniDFS.write (GS primary copy, checkpoint blobs,
     # the checkpoint manifest) — the durable-recovery fault surface
     "dfs.write",
+    # driver level: an elastic partition handoff at a superstep boundary
+    # (checked before the handoff checkpoint and before the restore)
+    "rebalance",
 )
+
+#: Sites excluded from FaultPlan.random's *default* pool. dfs.write is
+#: unattributed (driver-side); rebalance only exists when a run actually
+#: scales. Both stay opt-in so pre-existing seeds keep producing the
+#: exact same schedules they did before these sites were added.
+_NON_DEFAULT_SITES = ("dfs.write", "rebalance")
 
 #: The original action set seeded schedules are drawn from by default.
 #: Kept separate from FAULT_ACTIONS so pre-existing seeds replay the
@@ -77,8 +86,15 @@ FAULT_ACTIONS = CORE_ACTIONS + (
 MUTATION_ACTIONS = ("corrupt", "torn_write")
 
 #: Sites transient faults may target: both are idempotent to re-execute,
-#: so a retry-with-backoff wrapper can safely absorb them.
+#: so a retry-with-backoff wrapper can safely absorb them. Kept at two
+#: entries — FaultPlan.random draws from this tuple, so growing it would
+#: silently change every pre-existing seeded schedule.
 TRANSIENT_SITES = ("dfs.write", "superstep.begin")
+
+#: Sites where transient_io is additionally *allowed* (hand-written
+#: specs only): a transient during a rebalance handoff is absorbed by
+#: falling back to the last verified checkpoint, not by in-place retry.
+_EXTRA_TRANSIENT_SITES = ("rebalance",)
 
 class ChaosError(ReproError):
     """A fault plan or injector was configured inconsistently."""
@@ -122,10 +138,12 @@ class FaultSpec:
                 "%r only makes sense at the dfs.write site, not %r"
                 % (self.action, self.site)
             )
-        if self.action == "transient_io" and self.site not in TRANSIENT_SITES:
+        if self.action == "transient_io" and self.site not in (
+            TRANSIENT_SITES + _EXTRA_TRANSIENT_SITES
+        ):
             raise ChaosError(
                 "transient_io is only retry-safe at %r, not %r"
-                % (TRANSIENT_SITES, self.site)
+                % (TRANSIENT_SITES + _EXTRA_TRANSIENT_SITES, self.site)
             )
 
     def describe(self):
@@ -192,7 +210,7 @@ class FaultPlan:
         sites = list(
             sites
             if sites is not None
-            else [s for s in FAULT_SITES[1:] if s != "dfs.write"]
+            else [s for s in FAULT_SITES[1:] if s not in _NON_DEFAULT_SITES]
         )  # node-attributed engine/storage sites
         actions = list(actions if actions is not None else CORE_ACTIONS)
         if max_kills is None:

@@ -121,6 +121,12 @@ def build_parser():
                           "(open in Perfetto or about://tracing)")
     run.add_argument("--trace-jsonl", metavar="PATH", default=None,
                      help="dump every span/event/metric as JSON lines")
+    run.add_argument("--scale-at", action="append", default=None,
+                     metavar="SUPERSTEP=N",
+                     help="resize the cluster to N nodes at the given "
+                          "superstep boundary (repeatable); partitions "
+                          "rebalance through a checkpoint/restore handoff "
+                          "and the results stay bit-identical")
 
     trace = sub.add_parser(
         "trace",
@@ -180,6 +186,10 @@ def build_parser():
     )
     serve.add_argument("--result-cache", type=int, default=64,
                        help="result-cache entries (0 disables)")
+    serve.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                       help="autoscale the resident cluster between MIN and "
+                            "MAX nodes (scale up on queue backlog, drain "
+                            "back down when idle)")
     serve.add_argument(
         "--smoke", action="store_true",
         help="CI smoke: generate a small dataset, submit three jobs over "
@@ -289,6 +299,13 @@ def build_parser():
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="required speedup of the highest worker count "
                             "over sequential (CI gate)")
+    bench.add_argument("--elastic", action="store_true",
+                       help="measure superstep-boundary rebalance overhead "
+                            "instead (static vs scale-up vs scale-down; "
+                            "writes BENCH_elastic.json)")
+    bench.add_argument("--max-overhead", type=float, default=None,
+                       help="elastic gate: rebalance cost cap as a multiple "
+                            "of one average superstep")
 
     sub.add_parser("loc", help="the Section 7.6 lines-of-code comparison")
     return parser
@@ -345,6 +362,18 @@ def cmd_run(args, out=print):
 
     trace_path = getattr(args, "trace", None)
     trace_jsonl = getattr(args, "trace_jsonl", None)
+    scale_at = None
+    if getattr(args, "scale_at", None):
+        scale_at = {}
+        for item in args.scale_at:
+            step, sep, target = item.partition("=")
+            try:
+                if not sep:
+                    raise ValueError(item)
+                scale_at[int(step)] = int(target)
+            except ValueError:
+                out("error: --scale-at wants SUPERSTEP=N, got %r" % item)
+                return 2
     module_name, kwarg_names = ALGORITHMS[args.algorithm]
     module = importlib.import_module(module_name)
     kwargs = {}
@@ -408,6 +437,7 @@ def cmd_run(args, out=print):
             output_path="/output" if args.output else None,
             parse_line=parse_line,
             format_record=getattr(module, "format_record", None),
+            scale_at=scale_at,
         )
         json_mode = getattr(args, "json", False)
         if json_mode:
@@ -617,6 +647,7 @@ def cmd_serve(args, out=print):
         node_memory_bytes=node_memory,
         quotas=quotas or None,
         result_cache_capacity=args.result_cache,
+        autoscale=args.autoscale,
     )
     for name, directory in datasets:
         dataset = service.add_dataset(name, local_dir=directory)
@@ -628,8 +659,11 @@ def cmd_serve(args, out=print):
     server = ServeHTTPServer(service, host=args.host, port=args.port)
     host, port = server.start()
     out(
-        "serving on http://%s:%d (%d nodes, %d workers; Ctrl-C to drain "
-        "and stop)" % (host, port, args.nodes, args.workers)
+        "serving on http://%s:%d (%d nodes, %d workers%s; Ctrl-C to drain "
+        "and stop)" % (
+            host, port, args.nodes, args.workers,
+            ", autoscale %s" % args.autoscale if args.autoscale else "",
+        )
     )
     try:
         while True:
@@ -1038,6 +1072,9 @@ def cmd_checkpoints(args, out=print):
 
 
 def cmd_bench(args, out=print):
+    if args.elastic:
+        return _bench_elastic(args, out=out)
+
     from repro.bench import regression
 
     overrides = {}
@@ -1060,6 +1097,31 @@ def cmd_bench(args, out=print):
     for line in regression.summary_lines(report):
         out(line)
     out("report written to %s" % args.out)
+    return 0 if report["pass"] else 1
+
+
+def _bench_elastic(args, out=print):
+    from repro.bench import elastic
+
+    overrides = {}
+    if args.vertices is not None:
+        overrides["vertices"] = args.vertices
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.io_latency is not None:
+        overrides["io_latency_scale"] = args.io_latency
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.max_overhead is not None:
+        overrides["max_overhead"] = args.max_overhead
+    report = elastic.run_elastic(**overrides)
+    path = args.out if args.out != "BENCH_parallel.json" else "BENCH_elastic.json"
+    elastic.write_report(report, path)
+    for line in elastic.summary_lines(report):
+        out(line)
+    out("report written to %s" % path)
     return 0 if report["pass"] else 1
 
 

@@ -26,7 +26,7 @@ import time
 from collections import OrderedDict
 
 from repro.common.accounting import Counters, IOCounters, MemoryBudget
-from repro.common.errors import JobFailure, WorkerFailure
+from repro.common.errors import JobFailure, SchedulingError, WorkerFailure
 from repro.hyracks.scheduler import Scheduler, make_task_runner
 from repro.telemetry import Telemetry
 
@@ -61,6 +61,12 @@ class NodeContext:
         )
         self.services = {}
         self.alive = True
+        #: Draining nodes stay alive and keep serving their pinned
+        #: partitions ("healthy-until-handoff") but receive no *new*
+        #: placements; the cluster retires them once nothing references
+        #: them. Both fields are guarded by the cluster's membership lock.
+        self.draining = False
+        self.inflight = 0
         self.fault_injector = None
         self._fail_after_tasks = None
         self._failure_kind = "interruption"
@@ -203,6 +209,12 @@ class HyracksCluster:
     :param io_latency_scale: >0 makes simulated I/O and network transfers
         take real wall-clock time (cost-model seconds × scale) in *both*
         modes, so sequential-vs-parallel timing comparisons are honest.
+    :param virtual_partitions: fix the cluster's data-partition count
+        independently of its (elastic) node count. With it set, every
+        run keeps the same ``hash(vid) % num_partitions`` function no
+        matter how many nodes join or drain, so results are byte-stable
+        across scaling; partitions are merely re-assigned round-robin
+        over the schedulable nodes at superstep boundaries.
     """
 
     def __init__(
@@ -216,6 +228,7 @@ class HyracksCluster:
         telemetry=None,
         parallelism=1,
         io_latency_scale=0.0,
+        virtual_partitions=None,
     ):
         if buffer_cache_bytes is None:
             buffer_cache_bytes = int(node_memory_bytes * DEFAULT_CACHE_FRACTION)
@@ -247,6 +260,18 @@ class HyracksCluster:
         self._jobs_executed_lock = threading.Lock()
         #: Optional chaos hook (see repro.chaos.faults.FaultInjector).
         self.fault_injector = None
+        self.virtual_partitions = (
+            int(virtual_partitions) if virtual_partitions else None
+        )
+        # Elastic membership state. The membership lock serializes
+        # add/drain/retire against placement (execute) and the per-run
+        # partition-map pins registered by drivers; an RLock because
+        # scale_to -> add_node/drain_node nest.
+        self._membership_lock = threading.RLock()
+        self._node_seq = num_nodes
+        self._placements = {}  # run_id -> tuple of pinned node ids
+        self.membership_epoch = 0
+        self.retired_nodes = []
 
     # ------------------------------------------------------------------
     # cluster membership
@@ -256,6 +281,21 @@ class HyracksCluster:
 
     def alive_node_ids(self):
         return [node_id for node_id, node in self.nodes.items() if node.alive]
+
+    def schedulable_node_ids(self):
+        """Alive nodes that may receive *new* work (excludes draining)."""
+        return [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.alive and not node.draining
+        ]
+
+    def draining_node_ids(self):
+        return [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.alive and node.draining
+        ]
 
     def kill_node(self, node_id):
         """Simulate a machine loss: mark dead and wipe its local state."""
@@ -268,6 +308,8 @@ class HyracksCluster:
 
     @property
     def num_partitions(self):
+        if self.virtual_partitions:
+            return self.virtual_partitions
         return len(self.alive_node_ids()) * self.scheduler.default_partitions_per_node
 
     def aggregate_memory_bytes(self):
@@ -275,12 +317,147 @@ class HyracksCluster:
         return self.node_memory_bytes * len(self.alive_node_ids())
 
     # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def add_node(self, node_id=None):
+        """Join a fresh worker; schedulable immediately, but partition
+        maps only move onto it at the next superstep boundary (drivers
+        rebalance there). Returns the new node's id."""
+        with self._membership_lock:
+            if node_id is None:
+                node_id = "node%d" % self._node_seq
+                self._node_seq += 1
+            if node_id in self.nodes:
+                raise ValueError("node %r already exists" % node_id)
+            node = NodeContext(
+                node_id,
+                self.root_dir,
+                self.node_memory_bytes,
+                self.buffer_cache_bytes,
+                self.page_size,
+                telemetry=self.telemetry,
+                io_latency_scale=self.io_latency_scale,
+            )
+            # A chaos injector armed before the node joined must see it.
+            node.fault_injector = self.fault_injector
+            node.buffer_cache.fault_injector = self.fault_injector
+            self.nodes[node_id] = node
+            self.membership_epoch += 1
+        self.telemetry.event(
+            "cluster.scale", category="cluster", action="add", node=node_id
+        )
+        return node_id
+
+    def drain_node(self, node_id):
+        """Begin removing a worker: no new placements land on it, but it
+        keeps serving partitions pinned to it until every run has handed
+        off (rebalanced away or finished) — then it is retired."""
+        with self._membership_lock:
+            node = self.nodes[node_id]
+            if not node.draining:
+                node.draining = True
+                self.membership_epoch += 1
+        self.telemetry.event(
+            "cluster.scale", category="cluster", action="drain", node=node_id
+        )
+        self.reap_draining_nodes()
+        return node_id
+
+    def scale_to(self, target):
+        """Make the schedulable node count ``target``: add fresh nodes or
+        drain the newest schedulable ones. Returns (added, draining)."""
+        target = int(target)
+        if target < 1:
+            raise ValueError("cannot scale below one node")
+        added, draining = [], []
+        with self._membership_lock:
+            schedulable = self.schedulable_node_ids()
+            for _ in range(target - len(schedulable)):
+                added.append(self.add_node())
+            excess = len(schedulable) - target
+            if excess > 0:
+                for node_id in list(reversed(schedulable))[:excess]:
+                    draining.append(self.drain_node(node_id))
+        return added, draining
+
+    def register_placement(self, run_id, locations):
+        """Pin a run's partition map: the named nodes cannot retire while
+        the pin is held. Raises SchedulingError if a location is gone
+        (the caller rebuilds its map and retries)."""
+        with self._membership_lock:
+            missing = [loc for loc in set(locations) if loc not in self.nodes]
+            if missing:
+                raise SchedulingError(
+                    "cannot pin partition map to retired node(s): %r" % (missing,)
+                )
+            self._placements[run_id] = tuple(locations)
+        self.reap_draining_nodes()
+
+    def release_placement(self, run_id):
+        with self._membership_lock:
+            self._placements.pop(run_id, None)
+        self.reap_draining_nodes()
+
+    def reap_draining_nodes(self):
+        """Retire draining nodes no placement pins and no job is using.
+
+        Retirement removes the node from the cluster, wipes its local
+        storage, and closes its file handles; returns the retired ids.
+        """
+        retired = []
+        with self._membership_lock:
+            pinned = set()
+            for locations in self._placements.values():
+                pinned.update(locations)
+            for node_id, node in list(self.nodes.items()):
+                if not node.draining or node_id in pinned or node.inflight > 0:
+                    continue
+                del self.nodes[node_id]
+                retired.append((node_id, node))
+            if retired:
+                self.membership_epoch += 1
+                self.retired_nodes.extend(node_id for node_id, _ in retired)
+        for node_id, node in retired:
+            node.alive = False
+            node.reset_storage()
+            node.files.close()
+            self.telemetry.event(
+                "cluster.scale", category="cluster", action="retire", node=node_id
+            )
+        return [node_id for node_id, _ in retired]
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def execute(self, job_spec):
         """Run ``job_spec`` to completion and return a :class:`JobResult`."""
         started = time.perf_counter()
-        placement = self.scheduler.place(job_spec, self.alive_node_ids())
+        # Placement and the in-flight bump are atomic with membership
+        # changes: a draining node a plan lands on cannot retire under
+        # the running job, and unpinned (count/choice) placements prefer
+        # schedulable nodes so drains converge.
+        with self._membership_lock:
+            placement = self.scheduler.place(
+                job_spec,
+                self.alive_node_ids(),
+                preferred_nodes=self.schedulable_node_ids(),
+            )
+            used_nodes = set()
+            for locations in placement.values():
+                used_nodes.update(locations)
+            for node_id in used_nodes:
+                self.nodes[node_id].inflight += 1
+        try:
+            return self._execute_placed(job_spec, placement, started)
+        finally:
+            with self._membership_lock:
+                for node_id in used_nodes:
+                    node = self.nodes.get(node_id)
+                    if node is not None:
+                        node.inflight -= 1
+            self.reap_draining_nodes()
+
+    def _execute_placed(self, job_spec, placement, started):
         job_ctx = JobContext(
             job_spec.name,
             telemetry=self.telemetry,

@@ -133,8 +133,15 @@ def make_task_runner(parallelism, telemetry=None):
 class PartitionConstraint:
     """Base class for operator partition constraints."""
 
-    def solve(self, alive_nodes):
-        """Return the node id for each partition, as a list."""
+    def solve(self, alive_nodes, preferred_nodes=None):
+        """Return the node id for each partition, as a list.
+
+        ``preferred_nodes`` (default: all of ``alive_nodes``) is the
+        subset unpinned work should land on — the elastic cluster passes
+        its schedulable (non-draining) nodes here. Absolute constraints
+        ignore it: a pinned partition runs where its data lives even on
+        a draining node (healthy-until-handoff).
+        """
         raise NotImplementedError
 
 
@@ -146,7 +153,7 @@ class AbsoluteLocationConstraint(PartitionConstraint):
             raise SchedulingError("absolute constraint needs at least one location")
         self.locations = list(locations)
 
-    def solve(self, alive_nodes):
+    def solve(self, alive_nodes, preferred_nodes=None):
         alive = set(alive_nodes)
         missing = [node for node in self.locations if node not in alive]
         if missing:
@@ -162,23 +169,36 @@ class ChoiceLocationConstraint(PartitionConstraint):
     The solver picks the feasible choice with the lowest load so far,
     which is how HDFS-scan clones end up next to their blocks while still
     balancing across replicas.
+
+    :param fallback: with no alive candidate for a partition, place it
+        on the least-loaded preferred node instead of failing. Loading
+        plans opt in — an elastic cluster may have retired every
+        datanode a split was local to, and a remote read beats a dead
+        job; placements that *must* be local keep the default error.
     """
 
-    def __init__(self, choices):
+    def __init__(self, choices, fallback=False):
         if not choices:
             raise SchedulingError("choice constraint needs at least one partition")
         self.choices = [list(options) for options in choices]
+        self.fallback = bool(fallback)
 
-    def solve(self, alive_nodes):
+    def solve(self, alive_nodes, preferred_nodes=None):
         alive = set(alive_nodes)
+        preferred = [
+            node for node in (preferred_nodes or alive_nodes) if node in alive
+        ]
         load = {node: 0 for node in alive_nodes}
         placement = []
         for index, options in enumerate(self.choices):
             feasible = [node for node in options if node in alive]
             if not feasible:
-                raise SchedulingError(
-                    "partition %d has no alive candidate among %r" % (index, options)
-                )
+                if not (self.fallback and preferred):
+                    raise SchedulingError(
+                        "partition %d has no alive candidate among %r"
+                        % (index, options)
+                    )
+                feasible = list(preferred)
             chosen = min(feasible, key=lambda node: (load[node], node))
             load[chosen] += 1
             placement.append(chosen)
@@ -193,8 +213,8 @@ class CountConstraint(PartitionConstraint):
             raise SchedulingError("count constraint must be positive")
         self.count = int(count)
 
-    def solve(self, alive_nodes):
-        nodes = list(alive_nodes)
+    def solve(self, alive_nodes, preferred_nodes=None):
+        nodes = list(preferred_nodes or alive_nodes)
         if not nodes:
             raise SchedulingError("no alive nodes to place a count constraint on")
         return [nodes[i % len(nodes)] for i in range(self.count)]
@@ -206,24 +226,31 @@ class Scheduler:
     def __init__(self, default_partitions_per_node=1):
         self.default_partitions_per_node = default_partitions_per_node
 
-    def place(self, job_spec, alive_nodes):
+    def place(self, job_spec, alive_nodes, preferred_nodes=None):
         """Return ``{op_id: [node_id per partition]}`` for ``job_spec``.
 
         Operators without an explicit constraint default to one partition
         per alive node (the "as many partitions as cores" policy of the
         Pregelix scheduler, with one simulated core per node).
+
+        :param preferred_nodes: where unpinned work should go (the
+            elastic cluster's schedulable nodes); defaults to every
+            alive node, and falls back to them when empty.
         """
         alive = list(alive_nodes)
         if not alive:
             raise SchedulingError("cluster has no alive nodes")
+        preferred = [node for node in (preferred_nodes or ()) if node in set(alive)]
+        if not preferred:
+            preferred = alive
         placement = {}
         for operator in job_spec.operators:
             constraint = operator.partition_constraint
             if constraint is None:
                 constraint = CountConstraint(
-                    len(alive) * self.default_partitions_per_node
+                    len(preferred) * self.default_partitions_per_node
                 )
-            placement[operator.op_id] = constraint.solve(alive)
+            placement[operator.op_id] = constraint.solve(alive, preferred)
         self._check_one_to_one_edges(job_spec, placement)
         return placement
 

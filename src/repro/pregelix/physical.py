@@ -92,6 +92,21 @@ class PartitionMap:
             locations.extend(node_ids)
         return cls(locations)
 
+    @classmethod
+    def balanced(cls, node_ids, num_partitions, offset=0):
+        """``num_partitions`` partitions round-robin over ``node_ids``.
+
+        The partition *count* is the caller's (fixed for the lifetime of
+        a run — the elasticity invariant), while the node list may be
+        any size; ``offset`` rotates the assignment so concurrent runs
+        on an over-provisioned cluster spread across different nodes.
+        """
+        nodes = list(node_ids)
+        if not nodes:
+            raise ValueError("partition map needs at least one node")
+        start = int(offset) % len(nodes)
+        return cls([nodes[(start + i) % len(nodes)] for i in range(num_partitions)])
+
 
 class _SenderCombineAggregator(GroupAggregator):
     """Sender-side (stage one) combine: fold raw messages into states."""
@@ -334,7 +349,10 @@ class PlanGenerator:
 
         scan = spec.add(HDFSScanOperator(self.dfs, splits, parse_line))
         scan.partition_constraint = ChoiceLocationConstraint(
-            HDFSScanOperator.locality_choices(self.dfs, splits)
+            HDFSScanOperator.locality_choices(self.dfs, splits),
+            # Elastic clusters can retire every datanode a split was
+            # local to; read remotely rather than fail the load.
+            fallback=True,
         )
 
         raw_serde = self._raw_vertex_serde()

@@ -10,6 +10,7 @@ checkpoint replay on the surviving machines.
 
 import itertools
 import time
+import zlib
 
 from repro.common import costmodel
 from repro.common.errors import (
@@ -89,6 +90,7 @@ class PregelixDriver:
         parse_line=None,
         format_record=None,
         keep_state=False,
+        scale_at=None,
     ):
         """Execute ``job`` end to end; returns a :class:`JobOutcome`.
 
@@ -97,14 +99,15 @@ class PregelixDriver:
         :param format_record: output formatter for the final vertices.
         :param keep_state: keep the loaded vertex index and run state
             around (used by job pipelining) instead of cleaning up.
+        :param scale_at: ``{superstep: target_nodes}`` — resize the
+            cluster when that superstep boundary is reached; the run
+            rebalances onto the new node set at the same boundary.
         """
         parse_line, format_record = _default_formats(parse_line, format_record)
         run_id = "%s-%04d" % (_sanitize(job.name), next(_run_ids))
-        partition_map = PartitionMap.over_nodes(
-            self.cluster.alive_node_ids(),
-            self.cluster.scheduler.default_partitions_per_node,
+        generator = PlanGenerator(
+            job, self.dfs, run_id, self._pin_initial_map(run_id)
         )
-        generator = PlanGenerator(job, self.dfs, run_id, partition_map)
         telemetry = self.telemetry
 
         with telemetry.span(
@@ -119,7 +122,9 @@ class PregelixDriver:
                 gs = load_result.collected["gs"][0][0]
                 self._advance_sim_load(input_path, gs, load_span)
 
-            gs, generator, stats, recoveries = self._superstep_loop(job, generator, gs)
+            gs, generator, stats, recoveries = self._superstep_loop(
+                job, generator, gs, scale_at=scale_at
+            )
 
             injector = getattr(self.cluster, "fault_injector", None)
             if injector is not None:
@@ -160,9 +165,51 @@ class PregelixDriver:
         return lines
 
     # ------------------------------------------------------------------
+    # partition maps on an elastic cluster
+    # ------------------------------------------------------------------
+    def _balanced_map(self, run_id, num_partitions=None):
+        """The run's canonical map over the *current* schedulable nodes.
+
+        The partition count is fixed per run (``virtual_partitions`` when
+        the cluster sets one, else nodes × partitions-per-node at load
+        time), so ``hash(vid) % num_partitions`` — and therefore every
+        byte of every run — is independent of later membership changes;
+        elasticity only moves partitions between nodes. When the cluster
+        has more nodes than the run has partitions, the assignment is
+        rotated by a run-id hash so concurrent runs spread out.
+        """
+        cluster = self.cluster
+        nodes = cluster.schedulable_node_ids() or cluster.alive_node_ids()
+        if not nodes:
+            raise SchedulingError("cluster has no alive nodes")
+        if num_partitions is None:
+            num_partitions = getattr(cluster, "virtual_partitions", None) or (
+                len(nodes) * cluster.scheduler.default_partitions_per_node
+            )
+        offset = 0
+        if len(nodes) > num_partitions:
+            offset = zlib.crc32(run_id.encode("utf-8")) % len(nodes)
+        return PartitionMap.balanced(nodes, num_partitions, offset=offset)
+
+    def _pin_initial_map(self, run_id):
+        """Build the run's partition map and pin it against retirement.
+
+        An autoscaler may retire a node between map construction and the
+        pin; registration validates membership, so losing that race just
+        means rebuilding over the survivors.
+        """
+        while True:
+            partition_map = self._balanced_map(run_id)
+            try:
+                self.cluster.register_placement(run_id, partition_map.locations)
+            except SchedulingError:
+                continue
+            return partition_map
+
+    # ------------------------------------------------------------------
     # the superstep loop (shared with job pipelining)
     # ------------------------------------------------------------------
-    def _superstep_loop(self, job, generator, gs):
+    def _superstep_loop(self, job, generator, gs, scale_at=None):
         telemetry = self.telemetry
         retry = RetryPolicy(telemetry=telemetry)
         if getattr(self.dfs, "retry_policy", None) is None:
@@ -189,6 +236,7 @@ class PregelixDriver:
             stats.optimizer_trace = optimizer.trace
             self._record_replan(optimizer.trace.decisions[-1], superstep=0)
         injector = getattr(self.cluster, "fault_injector", None)
+        scale_at = dict(scale_at) if scale_at else {}
         while True:
             try:
                 # Liveness sweep: one superstep boundary is one heartbeat
@@ -212,10 +260,17 @@ class PregelixDriver:
                         "machine %s lost between supersteps" % dead[0],
                         cause=WorkerFailure(dead[0]),
                     )
+                if gs.superstep in scale_at:
+                    # CLI-driven elasticity: resize the cluster at this
+                    # boundary; the rebalance below performs the handoff.
+                    self.cluster.scale_to(scale_at.pop(gs.superstep))
                 if gs.halt:
                     break
                 if job.max_supersteps is not None and gs.superstep >= job.max_supersteps:
                     break
+                generator, checkpointer = self._maybe_rebalance(
+                    job, generator, checkpointer, gs, retry, retain, injector, stats
+                )
                 with telemetry.span(
                     "superstep:%d" % (gs.superstep + 1),
                     category="superstep",
@@ -269,6 +324,9 @@ class PregelixDriver:
                     gs, generator = self._recover(
                         job, generator, checkpointer, failures
                     )
+                self.cluster.register_placement(
+                    generator.run_id, generator.partition_map.locations
+                )
                 checkpointer = Checkpointer(
                     generator, telemetry=telemetry, retry=retry, retain=retain
                 )
@@ -292,6 +350,76 @@ class PregelixDriver:
         if injector is not None:
             injector.begin_superstep(gs.superstep + 1)
         return self.cluster.execute(generator.superstep_plan(gs))
+
+    # ------------------------------------------------------------------
+    # superstep-boundary rebalancing (elastic membership)
+    # ------------------------------------------------------------------
+    def _maybe_rebalance(self, job, generator, checkpointer, gs, retry, retain,
+                         injector, stats):
+        """Hand partitions off to the current node set, if it changed.
+
+        Membership changes (``add_node``/``drain_node``/``scale_to``)
+        take effect here and only here: the boundary forces a verified
+        checkpoint at the current superstep, restores it onto the new
+        assignment via the standard recovery path, and swaps the plan
+        generator. The partition *count* never changes, so the restored
+        run is bit-identical to one that never moved. A failure anywhere
+        in the handoff propagates to the normal recovery handler, which
+        falls back to the latest verified checkpoint.
+        """
+        desired = self._balanced_map(
+            generator.run_id,
+            num_partitions=generator.partition_map.num_partitions,
+        )
+        old_locations = list(generator.partition_map.locations)
+        if desired.locations == old_locations:
+            return generator, checkpointer
+        telemetry = self.telemetry
+        moved = sum(1 for a, b in zip(old_locations, desired.locations) if a != b)
+        with telemetry.span(
+            "rebalance:%d" % gs.superstep,
+            category="rebalance",
+            run_id=generator.run_id,
+        ) as span:
+            started = time.perf_counter()
+            telemetry.event(
+                "cluster.rebalance",
+                category="cluster",
+                run_id=generator.run_id,
+                superstep=gs.superstep,
+                phase="begin",
+                moved_partitions=moved,
+                nodes=len(set(desired.locations)),
+            )
+            if injector is not None:
+                injector.check("rebalance", phase="checkpoint")
+            self.cluster.execute(checkpointer.checkpoint_plan(gs.superstep))
+            checkpointer.commit(gs.superstep, gs=gs)
+            new_generator = PlanGenerator(job, self.dfs, generator.run_id, desired)
+            if injector is not None:
+                injector.check("rebalance", phase="restore")
+            self.cluster.execute(
+                checkpointer.recovery_plan(gs.superstep, new_generator)
+            )
+            for node_id in set(old_locations) - set(desired.locations):
+                self._drop_node_run_state(node_id, generator)
+            self.cluster.register_placement(generator.run_id, desired.locations)
+            new_checkpointer = Checkpointer(
+                new_generator, telemetry=telemetry, retry=retry, retain=retain
+            )
+            seconds = time.perf_counter() - started
+            span.annotate(moved_partitions=moved, seconds=seconds)
+            telemetry.event(
+                "cluster.rebalance",
+                category="cluster",
+                run_id=generator.run_id,
+                superstep=gs.superstep,
+                phase="commit",
+                moved_partitions=moved,
+                seconds=round(seconds, 6),
+            )
+            stats.record_rebalance(gs.superstep, seconds, moved)
+        return new_generator, new_checkpointer
 
     # ------------------------------------------------------------------
     # telemetry helpers
@@ -370,8 +498,13 @@ class PregelixDriver:
                 raise JobFailure(
                     "no healthy machines left to recover %s" % generator.run_id
                 )
+            # Prefer schedulable survivors: a draining node should not
+            # receive recovered partitions it would only hand off again
+            # (and could retire under an unregistered map).
+            schedulable = set(self.cluster.schedulable_node_ids())
+            preferred = [n for n in healthy if n in schedulable] or healthy
             new_map = PartitionMap(
-                [healthy[i % len(healthy)] for i in range(generator.partition_map.num_partitions)]
+                [preferred[i % len(preferred)] for i in range(generator.partition_map.num_partitions)]
             )
             new_generator = PlanGenerator(job, self.dfs, generator.run_id, new_map)
             try:
@@ -391,26 +524,39 @@ class PregelixDriver:
     def cleanup(self, generator):
         """Drop a run's indexes and message files from every node."""
         run_id = generator.run_id
-        for node in self.cluster.nodes.values():
-            registry = node.services.get("indexes", {})
-            # Snapshot with list(dict): atomic under the GIL, unlike a
-            # comprehension — concurrent jobs (repro.serve) register
-            # their own run-scoped indexes while this run cleans up.
-            doomed = [
-                key
-                for key in list(registry)
-                if key[0] in (generator.vertex_index, generator.vid_index)
-            ]
-            for key in doomed:
-                index = registry.pop(key, None)
-                if hasattr(index, "destroy"):
-                    index.destroy()
-            pregelix_state = node.services.get("pregelix", {}).pop(run_id, None)
-            if pregelix_state:
-                for path in pregelix_state.get("msg_files", {}).values():
-                    if path:
-                        node.files.delete_path(path)
+        for node_id in list(self.cluster.nodes):
+            self._drop_node_run_state(node_id, generator)
         self.dfs.delete("/pregelix/%s" % run_id, recursive=True)
+        self.cluster.release_placement(run_id)
+
+    def _drop_node_run_state(self, node_id, generator):
+        """Drop one node's share of a run: indexes and message files.
+
+        Used by cleanup for every node, and by rebalancing for nodes a
+        partition map vacated — a drained node must hold nothing of the
+        run before it can retire.
+        """
+        node = self.cluster.nodes.get(node_id)
+        if node is None:
+            return
+        registry = node.services.get("indexes", {})
+        # Snapshot with list(dict): atomic under the GIL, unlike a
+        # comprehension — concurrent jobs (repro.serve) register
+        # their own run-scoped indexes while this run cleans up.
+        doomed = [
+            key
+            for key in list(registry)
+            if key[0] in (generator.vertex_index, generator.vid_index)
+        ]
+        for key in doomed:
+            index = registry.pop(key, None)
+            if hasattr(index, "destroy"):
+                index.destroy()
+        pregelix_state = node.services.get("pregelix", {}).pop(generator.run_id, None)
+        if pregelix_state:
+            for path in pregelix_state.get("msg_files", {}).values():
+                if path:
+                    node.files.delete_path(path)
 
 
 def _retryable_at_boundary(error):

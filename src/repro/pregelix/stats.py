@@ -67,6 +67,7 @@ class StatisticsCollector:
         self.supersteps = []
         self.live_machines = []
         self.buffer_cache = {}
+        self.rebalances = []  # (superstep, seconds, moved_partitions)
         self.optimizer_trace = None  # set when the job auto-optimizes
         if registry is None:
             registry = MetricsRegistry()
@@ -99,6 +100,12 @@ class StatisticsCollector:
         for operator, seconds in record.operator_seconds.items():
             self.registry.counter("operator_seconds", operator=operator).inc(seconds)
         return record
+
+    def record_rebalance(self, superstep, seconds, moved_partitions):
+        """One elastic partition handoff at a superstep boundary."""
+        self.rebalances.append((superstep, seconds, moved_partitions))
+        self.registry.counter("rebalances").inc()
+        self.registry.counter("rebalance_seconds").inc(seconds)
 
     def record_cluster(self, cluster):
         """Snapshot the live machine set and buffer-cache counters."""

@@ -26,6 +26,7 @@ from repro.serve.api import (
     Rejection,
     result_document,
 )
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
 from repro.serve.cache import LRUCache, PlanCache, ResultCache, plan_class
 from repro.serve.http import ServeHTTPServer
 from repro.serve.queue import FairShareQueue
@@ -36,6 +37,8 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionRejected",
+    "AutoscalePolicy",
+    "Autoscaler",
     "Dataset",
     "FairShareQueue",
     "JobRecord",

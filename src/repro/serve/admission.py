@@ -101,21 +101,27 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # budget views
     # ------------------------------------------------------------------
-    def aggregate_capacity(self):
-        """Total simulated RAM across alive workers."""
-        return sum(
-            node.budget.capacity
+    def _countable_nodes(self):
+        """Workers admission may plan against: alive and not draining.
+
+        A draining node still serves its pinned partitions, but new jobs
+        will not land on it — counting its RAM would over-admit against
+        capacity that is on its way out. Re-evaluated per decision, so
+        admission always reflects the *current* elastic node set.
+        """
+        return [
+            node
             for node in self.cluster.nodes.values()
-            if node.alive
-        )
+            if node.alive and not getattr(node, "draining", False)
+        ]
+
+    def aggregate_capacity(self):
+        """Total simulated RAM across schedulable workers."""
+        return sum(node.budget.capacity for node in self._countable_nodes())
 
     def aggregate_free(self):
-        """Currently uncharged simulated RAM across alive workers."""
-        return sum(
-            node.budget.remaining
-            for node in self.cluster.nodes.values()
-            if node.alive
-        )
+        """Currently uncharged simulated RAM across schedulable workers."""
+        return sum(node.budget.remaining for node in self._countable_nodes())
 
     # ------------------------------------------------------------------
     def decide(self, request, dataset_bytes, running_estimated_bytes=0,

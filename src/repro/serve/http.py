@@ -6,8 +6,12 @@ Endpoints (JSON in, JSON out)::
     GET  /jobs/<id>         job record (state, timings, errors)
     GET  /jobs/<id>/result  the shared result document; 409 until terminal
     GET  /jobs              all job records (most recent first)
-    GET  /healthz           liveness: 200 while serving/draining
+    GET  /healthz           liveness: 200 while serving/draining (the
+                            payload flags ``degraded`` when any node is
+                            missing heartbeats)
     GET  /stats             service statistics snapshot
+    POST /cluster/scale     elastic resize: {"nodes": N} within the
+                            autoscale band; 200 with the scale outcome
 
 Built on :class:`http.server.ThreadingHTTPServer` so the service is
 drivable from outside the process without any dependency beyond the
@@ -51,10 +55,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self):
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
-            if self.service.healthy():
-                self._json(200, {"ok": True, "state": self.service.stats()["state"]})
-            else:
-                self._json(503, {"ok": False})
+            doc = self.service.health_document()
+            self._json(200 if doc["ok"] else 503, doc)
         elif path == "/stats":
             self._json(200, self.service.stats())
         elif path == "/jobs":
@@ -114,6 +116,22 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(400, "bad_request", str(error))
             else:
                 self._json(202, record.to_dict())
+        elif path == "/cluster/scale":
+            try:
+                body = self._read_body()
+                target = int(body["nodes"])
+            except (ValueError, KeyError, TypeError):
+                self._error(
+                    400, "bad_request",
+                    'body must be JSON like {"nodes": N}',
+                )
+                return
+            try:
+                outcome = self.service.scale_to(target)
+            except ValueError as error:
+                self._error(400, "bad_scale", str(error))
+            else:
+                self._json(200, outcome)
         elif path.startswith("/jobs/") and path.endswith("/cancel"):
             job_id = path.split("/")[2]
             if self.service.get(job_id) is None:

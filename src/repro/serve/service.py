@@ -25,8 +25,9 @@ import time
 from repro.common.errors import ReproError
 from repro.hdfs import MiniDFS
 from repro.hyracks.engine import HyracksCluster
-from repro.pregelix.failure import failure_cause, is_transient
+from repro.pregelix.failure import HeartbeatMonitor, failure_cause, is_transient
 from repro.pregelix.runtime import PregelixDriver
+from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.admission import (
     ADMIT,
     REJECT,
@@ -84,6 +85,11 @@ class JobService:
     :param job_attempts: executions per job before a recoverable failure
         becomes the job's final FAILED state (transients within a run are
         already retried by the driver; this covers whole-run replays).
+    :param autoscale: an :class:`~repro.serve.autoscale.AutoscalePolicy`
+        or a ``"MIN:MAX"`` string — lets the service grow/shrink the
+        cluster with load (nodes join and drain at superstep boundaries;
+        results stay byte-identical because the partition *count* is
+        pinned at construction, see ``virtual_partitions``).
     """
 
     def __init__(
@@ -100,6 +106,8 @@ class JobService:
         telemetry=None,
         cluster=None,
         dfs=None,
+        autoscale=None,
+        autoscale_interval=0.25,
     ):
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if cluster is None:
@@ -112,6 +120,20 @@ class JobService:
         else:
             self._owns_cluster = False
         self.cluster = cluster
+        if getattr(cluster, "virtual_partitions", None) is None:
+            # Pin the data-partition count at the starting size: every
+            # job keeps the same hash(vid) % N no matter how the node
+            # set breathes, so results are byte-stable under scaling.
+            cluster.virtual_partitions = cluster.num_partitions
+        self.heartbeats = HeartbeatMonitor(cluster, telemetry=self.telemetry)
+        self.autoscaler = None
+        if autoscale is not None:
+            policy = (
+                autoscale
+                if isinstance(autoscale, AutoscalePolicy)
+                else AutoscalePolicy.parse(autoscale)
+            )
+            self.autoscaler = Autoscaler(self, policy, interval=autoscale_interval)
         self.dfs = dfs if dfs is not None else MiniDFS(datanodes=cluster.node_ids())
         self.admission = AdmissionController(
             cluster, quotas=quotas, default_quota=default_quota,
@@ -207,6 +229,14 @@ class JobService:
                 )
                 thread.start()
                 self._threads.append(thread)
+        if self.autoscaler is not None:
+            # Enter the configured band before serving traffic.
+            policy = self.autoscaler.policy
+            current = len(self.cluster.schedulable_node_ids())
+            target = min(max(current, policy.min_nodes), policy.max_nodes)
+            if target != current:
+                self.cluster.scale_to(target)
+            self.autoscaler.start()
         self.telemetry.event(
             "serve.start", category="serve", workers=self._num_workers,
             nodes=len(self.cluster.nodes),
@@ -234,6 +264,8 @@ class JobService:
 
     def shutdown(self, drain=True, timeout=None):
         """Drain (optionally), stop the workers, release the cluster."""
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         drained = self.drain(timeout=timeout) if drain else False
         if not drain:
             with self._lock:
@@ -392,7 +424,64 @@ class JobService:
         self.telemetry.event("serve.cancel", category="serve", job_id=job_id)
         return True
 
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def scale_to(self, target):
+        """Manually resize the cluster (the ``POST /cluster/scale`` path).
+
+        Takes effect at running jobs' next superstep boundaries; new
+        jobs see the new size immediately. Returns a summary document.
+        """
+        target = int(target)
+        if self.autoscaler is not None:
+            policy = self.autoscaler.policy
+            if not policy.min_nodes <= target <= policy.max_nodes:
+                raise ValueError(
+                    "target %d outside the autoscale range %d:%d"
+                    % (target, policy.min_nodes, policy.max_nodes)
+                )
+        added, draining = self.cluster.scale_to(target)
+        self.telemetry.event(
+            "serve.scale", category="serve", direction="manual", target=target,
+            added=len(added), draining=len(draining),
+        )
+        return {
+            "target": target,
+            "added": added,
+            "draining": draining,
+            "schedulable": len(self.cluster.schedulable_node_ids()),
+        }
+
+    def cluster_stats(self):
+        """Per-node membership + liveness (the ``/stats`` cluster section)."""
+        self.heartbeats.observe()
+        self.cluster.reap_draining_nodes()
+        nodes = []
+        for node_id, node in list(self.cluster.nodes.items()):
+            missed = self.heartbeats.missed.get(node_id, 0)
+            nodes.append({
+                "node": node_id,
+                "alive": node.alive,
+                "draining": node.draining,
+                "inflight": node.inflight,
+                "missed_heartbeats": missed,
+                "suspect": node_id in self.heartbeats.dead or missed > 0,
+            })
+        doc = {
+            "nodes": nodes,
+            "schedulable": len(self.cluster.schedulable_node_ids()),
+            "draining": len(self.cluster.draining_node_ids()),
+            "retired": list(self.cluster.retired_nodes),
+            "epoch": self.cluster.membership_epoch,
+            "virtual_partitions": self.cluster.virtual_partitions,
+        }
+        if self.autoscaler is not None:
+            doc["autoscaler"] = self.autoscaler.state()
+        return doc
+
     def stats(self):
+        cluster_doc = self.cluster_stats()
         with self._lock:
             by_state = {}
             for record in self.jobs.values():
@@ -404,6 +493,7 @@ class JobService:
                 ),
                 "workers": self._num_workers,
                 "nodes": len(self.cluster.alive_node_ids()),
+                "cluster": cluster_doc,
                 "jobs": by_state,
                 "jobs_total": len(self.jobs),
                 "rejected": self._rejections,
@@ -426,6 +516,28 @@ class JobService:
             return self._state in ("serving", "draining") and bool(
                 self.cluster.alive_node_ids()
             )
+
+    def health_document(self):
+        """The ``/healthz`` payload: liveness plus per-node degradation.
+
+        ``ok`` keeps its PR-5 meaning (the service can serve at all);
+        ``degraded`` flags suspect machines — a node with missed
+        heartbeats or one declared dead — without failing the probe, so
+        orchestrators keep routing while operators get paged.
+        """
+        cluster_doc = self.cluster_stats()
+        suspects = [n["node"] for n in cluster_doc["nodes"] if n["suspect"]]
+        with self._lock:
+            state = self._state
+        return {
+            "ok": self.healthy(),
+            "state": state,
+            "degraded": bool(suspects),
+            "suspect_nodes": suspects,
+            "nodes_alive": sum(1 for n in cluster_doc["nodes"] if n["alive"]),
+            "nodes_schedulable": cluster_doc["schedulable"],
+            "nodes_draining": cluster_doc["draining"],
+        }
 
     # ------------------------------------------------------------------
     # dispatch

@@ -42,7 +42,9 @@ class TestFaultSpec:
 
     def test_taxonomy_covers_every_layer(self):
         layers = {site.split(".")[0] for site in FAULT_SITES}
-        assert layers == {"superstep", "operator", "page", "checkpoint", "dfs"}
+        assert layers == {
+            "superstep", "operator", "page", "checkpoint", "dfs", "rebalance",
+        }
         assert set(FAULT_ACTIONS) == {
             "interruption",
             "io",

@@ -47,7 +47,9 @@ class TestEndpoints:
         _service, base = served
         status, doc, _ = http(base, "GET", "/healthz")
         assert status == 200
-        assert doc == {"ok": True, "state": "serving"}
+        assert doc["ok"] is True and doc["state"] == "serving"
+        assert doc["degraded"] is False and doc["suspect_nodes"] == []
+        assert doc["nodes_schedulable"] == 3
 
     def test_submit_poll_result_roundtrip(self, served):
         service, base = served
@@ -127,6 +129,26 @@ class TestEndpoints:
         assert status == 200
         assert stats["jobs"]["succeeded"] >= 1
         assert stats["datasets"]["g"]["files"] == 3
+
+    def test_cluster_scale_endpoint(self, served):
+        _service, base = served
+        status, doc, _ = http(base, "POST", "/cluster/scale", body={"nodes": 4})
+        assert status == 200
+        assert doc["added"] == ["node3"] and doc["schedulable"] == 4
+        status, stats, _ = http(base, "GET", "/stats")
+        assert stats["cluster"]["schedulable"] == 4
+        assert [n["node"] for n in stats["cluster"]["nodes"]] == [
+            "node0", "node1", "node2", "node3",
+        ]
+        status, doc, _ = http(base, "POST", "/cluster/scale", body={"nodes": 3})
+        assert status == 200 and doc["draining"] == ["node3"]
+
+    def test_cluster_scale_rejects_bad_bodies(self, served):
+        _service, base = served
+        status, doc, _ = http(base, "POST", "/cluster/scale", body={"nodes": "x"})
+        assert status == 400 and doc["error"]["code"] == "bad_request"
+        status, doc, _ = http(base, "POST", "/cluster/scale", body={"nodes": 0})
+        assert status == 400 and doc["error"]["code"] == "bad_scale"
 
     def test_result_of_cached_repeat(self, served):
         service, base = served

@@ -16,6 +16,11 @@ Two halves:
   fault schedules and asserts bit-identical results plus agreement with
   an independent reference (:mod:`repro.chaos.reference`).
 
+Plus :mod:`repro.chaos.serve_drill` — crash/restart scenarios for the
+serving layer's ``service.crash`` and ``journal.append`` fault sites:
+the journaled service is killed at every lifecycle phase and must
+recover to bit-identical results.
+
 Exposed on the command line as ``repro chaos``.
 """
 
@@ -43,8 +48,10 @@ from repro.chaos.faults import (
     check_fault,
 )
 from repro.chaos.reference import AlgorithmCase, algorithm_case, algorithm_names
+from repro.chaos.serve_drill import CRASH_PHASES, run_serve_drill
 
 __all__ = [
+    "CRASH_PHASES",
     "CORE_ACTIONS",
     "FAULT_ACTIONS",
     "FAULT_SITES",
@@ -66,5 +73,6 @@ __all__ = [
     "algorithm_names",
     "all_plans",
     "check_fault",
+    "run_serve_drill",
     "values_close",
 ]

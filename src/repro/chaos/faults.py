@@ -56,13 +56,22 @@ FAULT_SITES = (
     # driver level: an elastic partition handoff at a superstep boundary
     # (checked before the handoff checkpoint and before the restore)
     "rebalance",
+    # serve level: one WAL record about to be framed into the job journal
+    "journal.append",
+    # serve level: the whole JobService process dies. Checked at job
+    # lifecycle phases (submit / dispatch / boundary / finishing); the
+    # check's ``node`` is the *phase name*, so specs target a phase by
+    # setting ``node`` (use action io/interruption, never kill — there
+    # is no cluster machine to power off).
+    "service.crash",
 )
 
 #: Sites excluded from FaultPlan.random's *default* pool. dfs.write is
 #: unattributed (driver-side); rebalance only exists when a run actually
-#: scales. Both stay opt-in so pre-existing seeds keep producing the
+#: scales; journal.append/service.crash only exist under a journaled
+#: JobService. All stay opt-in so pre-existing seeds keep producing the
 #: exact same schedules they did before these sites were added.
-_NON_DEFAULT_SITES = ("dfs.write", "rebalance")
+_NON_DEFAULT_SITES = ("dfs.write", "rebalance", "journal.append", "service.crash")
 
 #: The original action set seeded schedules are drawn from by default.
 #: Kept separate from FAULT_ACTIONS so pre-existing seeds replay the
@@ -93,8 +102,21 @@ TRANSIENT_SITES = ("dfs.write", "superstep.begin")
 
 #: Sites where transient_io is additionally *allowed* (hand-written
 #: specs only): a transient during a rebalance handoff is absorbed by
-#: falling back to the last verified checkpoint, not by in-place retry.
-_EXTRA_TRANSIENT_SITES = ("rebalance",)
+#: falling back to the last verified checkpoint, not by in-place retry;
+#: a transient journal append is retried by the journal's own policy
+#: before the record is considered lost.
+_EXTRA_TRANSIENT_SITES = ("rebalance", "journal.append")
+
+#: Sites where the mutation actions are meaningful: MiniDFS applies them
+#: to the just-landed bytes. journal.append maps a torn_write onto the
+#: WAL tail — exactly the partial-final-record shape replay must absorb.
+_MUTATION_SITES = ("dfs.write", "journal.append")
+
+#: Sites that model the serving *process* rather than one engine run.
+#: The driver's end-of-run disarm (scope="engine") leaves these live:
+#: a service outlives the runs it executes, so a crash scheduled at the
+#: "finishing" phase or on a post-run journal append must still fire.
+SERVICE_SITES = ("journal.append", "service.crash")
 
 class ChaosError(ReproError):
     """A fault plan or injector was configured inconsistently."""
@@ -133,10 +155,15 @@ class FaultSpec:
             raise ChaosError("unknown fault action %r (choose from %r)" % (self.action, FAULT_ACTIONS))
         if self.at_hit < 1:
             raise ChaosError("at_hit is 1-based and must be >= 1")
-        if self.action in MUTATION_ACTIONS and self.site != "dfs.write":
+        if self.action in MUTATION_ACTIONS and self.site not in _MUTATION_SITES:
             raise ChaosError(
-                "%r only makes sense at the dfs.write site, not %r"
-                % (self.action, self.site)
+                "%r only makes sense at %r, not %r"
+                % (self.action, _MUTATION_SITES, self.site)
+            )
+        if self.action == "kill" and self.site == "service.crash":
+            raise ChaosError(
+                "service.crash has no cluster machine to power off; "
+                "use action 'io' or 'interruption' to down the service"
             )
         if self.action == "transient_io" and self.site not in (
             TRANSIENT_SITES + _EXTRA_TRANSIENT_SITES
@@ -279,6 +306,7 @@ class FaultInjector:
         self.cluster = None
         self.dfs = None
         self.armed = True
+        self._engine_disarmed = False
         self.current_superstep = 0
         self.fired = []
         self.checks = 0
@@ -324,11 +352,23 @@ class FaultInjector:
             self.dfs = None
         return self
 
-    def disarm(self, reason=""):
-        """Stop firing (and counting); the plan's state is preserved."""
+    def disarm(self, reason="", scope="all"):
+        """Stop firing (and counting); the plan's state is preserved.
+
+        ``scope="engine"`` disarms only the engine/storage sites and
+        leaves the :data:`SERVICE_SITES` live — the driver uses it at
+        the end of a superstep loop, where leftover *engine* faults must
+        not tear the result dump but the serving process the run belongs
+        to is still very much crashable.
+        """
         if self.armed and self.telemetry is not None:
-            self.telemetry.event("chaos.disarmed", category="chaos", reason=reason)
-        self.armed = False
+            self.telemetry.event(
+                "chaos.disarmed", category="chaos", reason=reason, scope=scope
+            )
+        if scope == "engine":
+            self._engine_disarmed = True
+        else:
+            self.armed = False
 
     # ------------------------------------------------------------------
     # hook entry points
@@ -336,6 +376,10 @@ class FaultInjector:
     def begin_superstep(self, superstep):
         """Driver hook: entering ``superstep``. May raise JobFailure."""
         self.current_superstep = superstep
+        # A new superstep means a new run's loop is live again: an
+        # engine-scoped disarm only ever protects the dump phase between
+        # a loop's end and the next run.
+        self._engine_disarmed = False
         try:
             self.check("superstep.begin")
         except WorkerFailure as failure:
@@ -364,6 +408,8 @@ class FaultInjector:
         mutation = None
         for index, spec in enumerate(self.plan):
             if spec.fired or spec.site != site:
+                continue
+            if self._engine_disarmed and spec.site not in SERVICE_SITES:
                 continue
             # For a kill, spec.node names the *victim*, not a filter on
             # the checking node: any machine's progress past the site

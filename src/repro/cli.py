@@ -162,6 +162,11 @@ def build_parser():
         "serve",
         help="start the multi-tenant job service over HTTP (DESIGN.md §14)",
     )
+    serve.add_argument(
+        "action", nargs="?", choices=["recover"], default=None,
+        help="'recover': replay the journal, print the recovery summary, "
+             "and exit without serving (requires --journal)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="listen port (0 picks an ephemeral port)")
@@ -191,10 +196,54 @@ def build_parser():
                             "MAX nodes (scale up on queue backlog, drain "
                             "back down when idle)")
     serve.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="durable job journal (a local directory or file; fsync'd, "
+             "so it survives kill -9). Enables restart recovery, forced "
+             "checkpointing of served jobs, and journal-latency shedding; "
+             "the journal is replayed on startup",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="S",
+        help="wall-clock budget applied to submissions that do not carry "
+             "their own deadline_seconds (enforced at superstep boundaries)",
+    )
+    serve.add_argument(
+        "--shed-queue-depth", type=int, default=None, metavar="N",
+        help="shed new submissions (503 + Retry-After) once the queue "
+             "holds N jobs",
+    )
+    serve.add_argument(
+        "--shed-append-seconds", type=float, default=None, metavar="S",
+        help="shed new submissions once the journal's rolling append "
+             "latency exceeds S seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=300, metavar="S",
+        help="seconds shutdown waits for queued and in-flight jobs "
+             "(default 300)",
+    )
+    serve.add_argument(
+        "--demo-dataset", type=int, default=None, metavar="N",
+        help="pre-load a generated N-vertex BTC-style graph as dataset "
+             "'demo' (handy for the kill -9 recovery walkthrough)",
+    )
+    serve.add_argument(
         "--smoke", action="store_true",
         help="CI smoke: generate a small dataset, submit three jobs over "
              "HTTP (one over-quota rejection, one cache-hit repeat), "
              "compare against a direct driver run, drain, exit 0/1",
+    )
+    serve.add_argument(
+        "--smoke-deadline", type=float, default=60, metavar="S",
+        help="per-check timeout for the --smoke / --smoke-restart runs "
+             "(default 60)",
+    )
+    serve.add_argument(
+        "--smoke-restart", action="store_true",
+        help="CI smoke: start a journaled child service, kill -9 it "
+             "mid-job, restart over the same journal, verify every "
+             "journaled job reaches a terminal state with bit-identical "
+             "results, exit 0/1",
     )
 
     figures = sub.add_parser("figures", help="regenerate paper experiments")
@@ -629,6 +678,11 @@ def cmd_serve(args, out=print):
 
     if args.smoke:
         return _serve_smoke(args, out=out)
+    if args.smoke_restart:
+        return _serve_restart_smoke(args, out=out)
+    if args.action == "recover" and not args.journal:
+        out("error: 'repro serve recover' requires --journal DIR")
+        return 2
 
     try:
         datasets, quotas = _parse_serve_options(args)
@@ -648,6 +702,11 @@ def cmd_serve(args, out=print):
         quotas=quotas or None,
         result_cache_capacity=args.result_cache,
         autoscale=args.autoscale,
+        journal="file:%s" % os.path.abspath(args.journal)
+        if args.journal else None,
+        default_deadline_seconds=args.default_deadline,
+        shed_queue_depth=args.shed_queue_depth,
+        shed_append_seconds=args.shed_append_seconds,
     )
     for name, directory in datasets:
         dataset = service.add_dataset(name, local_dir=directory)
@@ -655,6 +714,34 @@ def cmd_serve(args, out=print):
             "dataset %s: %d bytes in %d files (digest %s)"
             % (name, dataset.nbytes, dataset.num_files, dataset.digest)
         )
+    if args.demo_dataset:
+        from repro.graphs.generators import btc_graph
+
+        dataset = service.add_dataset(
+            "demo", vertices=list(btc_graph(args.demo_dataset, seed=3))
+        )
+        out(
+            "dataset demo: %d generated vertices (digest %s)"
+            % (args.demo_dataset, dataset.digest)
+        )
+    if args.journal:
+        summary = service.recover()
+        out(
+            "journal replay: %(jobs)d job(s) — %(finished)d finished, "
+            "%(cancelled)d cancelled, %(resumed)d resumed, "
+            "%(requeued)d requeued, %(skipped)d skipped"
+            % summary
+        )
+        if summary.get("torn_bytes"):
+            out(
+                "journal: truncated %d torn tail byte(s)"
+                % summary["torn_bytes"]
+            )
+    if args.action == "recover":
+        # Replay-and-report only: the next `repro serve --journal` picks
+        # the recovered queue up and executes it.
+        service.shutdown(drain=False)
+        return 0
     service.start()
     server = ServeHTTPServer(service, host=args.host, port=args.port)
     host, port = server.start()
@@ -674,7 +761,7 @@ def cmd_serve(args, out=print):
         out("draining ...")
     finally:
         server.close()
-        drained = service.shutdown(drain=True, timeout=300)
+        drained = service.shutdown(drain=True, timeout=args.drain_timeout)
         out("stopped (drained: %s)" % drained)
     return 0
 
@@ -755,7 +842,9 @@ def _serve_smoke(args, out=print):
             headers={"Content-Type": "application/json"},
         )
         try:
-            with urllib.request.urlopen(request, timeout=60) as response:
+            with urllib.request.urlopen(
+                request, timeout=args.smoke_deadline
+            ) as response:
                 return response.status, json_module.loads(response.read())
         except urllib.error.HTTPError as error:
             return error.code, json_module.loads(error.read())
@@ -772,7 +861,7 @@ def _serve_smoke(args, out=print):
         check("submit", status == 202 and "job_id" in record,
               "status %s: %s" % (status, record))
         job_id = record.get("job_id", "")
-        deadline = 60
+        deadline = args.smoke_deadline
         state = record.get("state")
         import time
 
@@ -837,6 +926,206 @@ def _serve_smoke(args, out=print):
     check("drained cleanly", drained is True)
     out("serve smoke: %s" % ("PASS" if not failures else
                              "FAIL (%s)" % ", ".join(failures)))
+    return 0 if not failures else 1
+
+
+def _serve_restart_smoke(args, out=print):
+    """The CI restart-recovery smoke: kill -9 a journaled service mid-job.
+
+    Phase A starts a real child process (``repro serve --journal DIR
+    --demo-dataset N``), completes one job over HTTP, gets a second job
+    into RUNNING, and SIGKILLs the child — no drain, no atexit, the
+    hardest crash the OS offers. Phase B builds a fresh service over the
+    same journal, replays it, and proves: the finished job's result and
+    digest survived (and re-submission is a cache hit, never a
+    re-execution), and the interrupted job runs to completion with a
+    result digest bit-identical to an uninterrupted run of the same
+    request.
+    """
+    import json as json_module
+    import os
+    import shutil
+    import signal
+    import subprocess
+    import sys
+    import tempfile
+    import threading
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.graphs.generators import btc_graph
+    from repro.serve import JobService, JobState
+
+    failures = []
+
+    def check(label, ok, detail=""):
+        out("%s %s%s" % ("ok  " if ok else "FAIL", label,
+                         " (%s)" % detail if detail and not ok else ""))
+        if not ok:
+            failures.append(label)
+
+    deadline = args.smoke_deadline
+    demo_vertices = args.demo_dataset or 60
+    journal_dir = tempfile.mkdtemp(prefix="repro-restart-smoke-")
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+
+    child = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--port", "0", "--nodes", "3", "--workers", "1",
+            "--journal", journal_dir,
+            "--demo-dataset", str(demo_vertices),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+    base_holder = []
+    child_lines = []
+
+    def _read_child():
+        for line in child.stdout:
+            child_lines.append(line.rstrip("\n"))
+            if line.startswith("serving on http://") and not base_holder:
+                base_holder.append(line.split()[2])
+
+    reader = threading.Thread(target=_read_child, daemon=True)
+    reader.start()
+
+    def http(method, path, body=None):
+        data = (
+            json_module.dumps(body).encode() if body is not None else None
+        )
+        request = urllib.request.Request(
+            base_holder[0] + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=deadline) as response:
+                return response.status, json_module.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json_module.loads(error.read())
+
+    fast_request = {"tenant": "alice", "algorithm": "cc", "dataset": "demo"}
+    slow_request = {
+        "tenant": "alice", "algorithm": "pagerank", "dataset": "demo",
+        "params": {"iterations": 200}, "use_cache": False,
+    }
+    finished_id = finished_digest = running_id = None
+    try:
+        waited = 0.0
+        while not base_holder and child.poll() is None and waited < deadline:
+            time.sleep(0.1)
+            waited += 0.1
+        check("child service came up", bool(base_holder),
+              "child exited %s: %s" % (child.poll(), child_lines[-5:]))
+        if not base_holder:
+            return 1
+        out("restart smoke: child on %s (pid %d)"
+            % (base_holder[0], child.pid))
+
+        # 1. One job runs to completion before the crash.
+        status, record = http("POST", "/jobs", fast_request)
+        check("fast job admitted", status == 202,
+              "status %s: %s" % (status, record))
+        finished_id = record.get("job_id")
+        waited, state = 0.0, record.get("state")
+        while state not in ("succeeded", "failed") and waited < deadline:
+            time.sleep(0.1)
+            waited += 0.1
+            _, record = http("GET", "/jobs/%s" % finished_id)
+            state = record.get("state")
+        finished_digest = record.get("result_digest")
+        check("fast job succeeded pre-crash",
+              state == "succeeded" and finished_digest,
+              "state %s" % state)
+
+        # 2. A long job reaches RUNNING; then the process dies.
+        status, record = http("POST", "/jobs", slow_request)
+        check("slow job admitted", status == 202,
+              "status %s: %s" % (status, record))
+        running_id = record.get("job_id")
+        waited, state = 0.0, record.get("state")
+        while state != "running" and waited < deadline:
+            time.sleep(0.05)
+            waited += 0.05
+            _, record = http("GET", "/jobs/%s" % running_id)
+            state = record.get("state")
+        check("slow job running at kill time", state == "running",
+              "state %s" % state)
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30)
+        out("restart smoke: child killed (-9) with %s running" % running_id)
+
+        # 3. Restart: a fresh service over the same journal.
+        service = JobService(
+            num_nodes=3, workers=1, journal="file:%s" % journal_dir
+        )
+        service.add_dataset(
+            "demo", vertices=list(btc_graph(demo_vertices, seed=3))
+        )
+        summary = service.recover()
+        out("restart smoke: replay %s" % json_module.dumps(summary))
+        check(
+            "replay saw both jobs",
+            summary["finished"] >= 1
+            and summary["resumed"] + summary["requeued"] >= 1,
+            json_module.dumps(summary),
+        )
+        try:
+            service.start()
+            finished = service.get(finished_id)
+            check(
+                "finished job survived with its digest",
+                finished is not None
+                and finished.state == JobState.SUCCEEDED
+                and finished.result_digest == finished_digest
+                and finished.result is not None,
+                "record %s" % (finished and finished.to_dict()),
+            )
+            # Re-submission of the finished request must be a cache hit —
+            # a journaled-finished job is never re-executed.
+            repeat = service.submit(dict(fast_request))
+            check("finished job re-serves from cache",
+                  repeat.cache_hit and repeat.result_digest == finished_digest)
+
+            interrupted = service.get(running_id)
+            check("interrupted job recovered", interrupted is not None
+                  and interrupted.recovered)
+            state = interrupted.wait(timeout=deadline) if interrupted else None
+            check(
+                "interrupted job completed after restart",
+                state == JobState.SUCCEEDED,
+                "state %s error %s"
+                % (state, interrupted and interrupted.error),
+            )
+
+            # The recovered result must be bit-identical to an
+            # uninterrupted run of the same request.
+            rerun = service.submit(dict(slow_request))
+            check("verification rerun completed",
+                  rerun.wait(timeout=deadline) == JobState.SUCCEEDED)
+            check(
+                "recovered digest == uninterrupted digest",
+                interrupted is not None
+                and interrupted.result_digest == rerun.result_digest
+                and interrupted.result_digest is not None,
+                "%s vs %s" % (interrupted and interrupted.result_digest,
+                              rerun.result_digest),
+            )
+        finally:
+            service.shutdown(drain=True, timeout=deadline)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+        shutil.rmtree(journal_dir, ignore_errors=True)
+    out("serve restart smoke: %s" % ("PASS" if not failures else
+                                     "FAIL (%s)" % ", ".join(failures)))
     return 0 if not failures else 1
 
 
@@ -991,6 +1280,13 @@ def cmd_chaos(args, out=print):
             failures += 1
             for line in report.summary_lines():
                 out(line)
+    if not args.no_faults:
+        # The serve-layer sites (service.crash, journal.append): kill the
+        # journaled service at every lifecycle phase, damage the WAL tail,
+        # and require recovery to bit-identical results.
+        from repro.chaos.serve_drill import run_serve_drill
+
+        failures += len(run_serve_drill(out=out, verbose=args.verbose))
     return 1 if failures else 0
 
 

@@ -88,5 +88,33 @@ class CheckpointNotFound(ReproError):
     """Recovery was requested but no usable checkpoint exists."""
 
 
+class DeadlineExceeded(ReproError):
+    """A job ran past its wall-clock budget.
+
+    Raised cooperatively at a superstep boundary (the driver's
+    ``boundary_hook``), never mid-plan, so the engine's state is always
+    consistent when the run unwinds. Carries the budget and how far past
+    it the run was when the boundary check fired.
+    """
+
+    def __init__(self, message, budget_seconds=None, elapsed_seconds=None):
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+        super().__init__(message)
+
+
+class JobCancelled(ReproError):
+    """A run was cancelled cooperatively at a superstep boundary.
+
+    ``reason`` distinguishes a user-requested cancel (``"user"``) from a
+    watchdog intervention (``"stuck"``) so the serving layer can decide
+    between a CANCELLED terminal state and a retry/quarantine path.
+    """
+
+    def __init__(self, message, reason="user"):
+        self.reason = reason
+        super().__init__(message)
+
+
 class GraphMutationConflict(ReproError):
     """Unresolvable conflicting vertex mutations reached the resolver."""

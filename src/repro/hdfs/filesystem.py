@@ -203,17 +203,90 @@ class MiniDFS:
     def append(self, path, data):
         """Append ``data`` to an existing file (creating it if missing).
 
-        The rewrite re-chunks and re-checksums the whole file; reading
-        the existing content verifies it first, so appending to a
-        corrupted file surfaces the damage instead of burying it under
-        fresh checksums.
+        Appends are incremental — the tail block is extended and new
+        blocks are chunked on, with only the touched blocks
+        re-checksummed — so appending N records to a log costs O(N)
+        bytes written, not O(N²) rewrites (the property the serve-layer
+        job journal depends on). The existing content is verified first,
+        so appending to a corrupted file surfaces the damage instead of
+        burying it under fresh checksums. Like :meth:`write`, the
+        ``dfs.write`` fault site is consulted, and ``corrupt`` /
+        ``torn_write`` mutations are applied after the append lands.
         """
         if isinstance(data, str):
             data = data.encode("utf-8")
-        existing = b""
-        if self.exists(path):
-            existing = self.read(path)
-        self.write(path, existing + data)
+        with self._ns_lock:
+            handle = self._files.get(self._normalize(path))
+        if handle is None:
+            self.write(path, data)
+            return
+        bad = handle.bad_blocks()
+        if bad:
+            from repro.common.errors import ChecksumError
+
+            raise ChecksumError(path, bad)
+        action = self._check_write_fault(self._normalize(path), len(data))
+        with self._ns_lock:
+            blocks = list(handle.blocks)
+            locations = list(handle.locations)
+            checksums = list(handle.checksums)
+            if blocks == [b""]:
+                blocks, locations, checksums = [], [], []
+            offset = 0
+            if blocks and len(blocks[-1]) < self.block_size:
+                take = self.block_size - len(blocks[-1])
+                blocks[-1] = blocks[-1] + bytes(data[:take])
+                checksums[-1] = _crc(blocks[-1])
+                offset = take
+            while offset < len(data):
+                blocks.append(bytes(data[offset : offset + self.block_size]))
+                locations.append(self._place_block())
+                checksums.append(_crc(blocks[-1]))
+                offset += self.block_size
+            if not blocks:
+                blocks, checksums = [b""], [_crc(b"")]
+                locations = [self._place_block()]
+            # Swap in a fresh handle instead of mutating the old one, so
+            # a concurrent reader sees either the before or the after
+            # image, never a half-extended block list.
+            updated = _File.__new__(_File)
+            updated.blocks = blocks
+            updated.block_size = handle.block_size
+            updated.locations = locations
+            updated.checksums = checksums
+            # Extend the write-time metadata CRC incrementally: the
+            # running crc32 over old-bytes-then-new equals crc32 of the
+            # concatenation, so torn-write audits keep working.
+            updated.crc32 = zlib.crc32(data, handle.crc32) & 0xFFFFFFFF
+            self._files[path] = updated
+        if action == "corrupt":
+            self.corrupt(path)
+        elif action == "torn_write":
+            self.tear(path)
+
+    def truncate(self, path, keep_bytes):
+        """Shrink ``path`` to its first ``keep_bytes`` bytes, cleanly.
+
+        Unlike the :meth:`tear` damage hook, truncation is a *deliberate*
+        repair operation: the kept prefix is re-checksummed and the
+        write-time metadata updated to match, so later audits see a
+        consistent (shorter) file. Used by the job journal to drop a
+        torn tail record during replay before new appends land.
+        """
+        path = self._normalize(path)
+        handle = self._require(path)
+        data = handle.data()
+        keep_bytes = max(0, min(int(keep_bytes), len(data)))
+        kept = data[:keep_bytes]
+        blocks = [
+            bytes(kept[i : i + self.block_size])
+            for i in range(0, len(kept), self.block_size)
+        ] or [b""]
+        locations = handle.locations[: len(blocks)]
+        while len(locations) < len(blocks):
+            locations.append(self._place_block())
+        with self._ns_lock:
+            self._files[path] = _File(blocks, self.block_size, locations)
 
     def read(self, path):
         """Full contents of ``path`` as bytes (checksum-verified)."""

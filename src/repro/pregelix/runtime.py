@@ -15,11 +15,13 @@ import zlib
 from repro.common import costmodel
 from repro.common.errors import (
     CheckpointNotFound,
+    DeadlineExceeded,
+    JobCancelled,
     JobFailure,
     SchedulingError,
     WorkerFailure,
 )
-from repro.pregelix.checkpoint import Checkpointer
+from repro.pregelix.checkpoint import MANIFEST_NAME, Checkpointer, load_manifest
 from repro.pregelix.failure import (
     FailureManager,
     HeartbeatMonitor,
@@ -91,6 +93,8 @@ class PregelixDriver:
         format_record=None,
         keep_state=False,
         scale_at=None,
+        run_id=None,
+        boundary_hook=None,
     ):
         """Execute ``job`` end to end; returns a :class:`JobOutcome`.
 
@@ -102,9 +106,19 @@ class PregelixDriver:
         :param scale_at: ``{superstep: target_nodes}`` — resize the
             cluster when that superstep boundary is reached; the run
             rebalances onto the new node set at the same boundary.
+        :param run_id: explicit run id (the serve layer pre-allocates
+            one so it can be journaled before execution starts);
+            ``None`` draws from the driver's counter.
+        :param boundary_hook: called as ``hook(superstep)`` at every
+            superstep boundary before the next superstep is attempted —
+            the cooperative enforcement point for deadlines, cancels,
+            and crash drills. Exceptions it raises that are not part of
+            the recoverable set unwind the run without checkpoint
+            recovery absorbing them.
         """
         parse_line, format_record = _default_formats(parse_line, format_record)
-        run_id = "%s-%04d" % (_sanitize(job.name), next(_run_ids))
+        if run_id is None:
+            run_id = "%s-%04d" % (_sanitize(job.name), next(_run_ids))
         generator = PlanGenerator(
             job, self.dfs, run_id, self._pin_initial_map(run_id)
         )
@@ -122,15 +136,25 @@ class PregelixDriver:
                 gs = load_result.collected["gs"][0][0]
                 self._advance_sim_load(input_path, gs, load_span)
 
-            gs, generator, stats, recoveries = self._superstep_loop(
-                job, generator, gs, scale_at=scale_at
-            )
+            try:
+                gs, generator, stats, recoveries = self._superstep_loop(
+                    job, generator, gs, scale_at=scale_at,
+                    boundary_hook=boundary_hook,
+                )
+            except (DeadlineExceeded, JobCancelled):
+                # A cooperative stop is a *clean* unwind: drop the run's
+                # indexes and scratch so the worker slot frees without
+                # leaking state. (A simulated service crash, by contrast,
+                # propagates untouched — its checkpoints must survive
+                # for the restarted service to resume from.)
+                self.cleanup(generator)
+                raise
 
             injector = getattr(self.cluster, "fault_injector", None)
             if injector is not None:
                 # The chaos harness targets the iterative phase; leftover
                 # faults must not tear the final result dump.
-                injector.disarm(reason="superstep loop complete")
+                injector.disarm(reason="superstep loop complete", scope="engine")
 
             dump_seconds = 0.0
             if output_path is not None:
@@ -164,6 +188,131 @@ class PregelixDriver:
             lines.extend(self.dfs.read_text_lines(path))
         return lines
 
+    def resume(
+        self,
+        job,
+        input_path,
+        run_id,
+        output_path=None,
+        parse_line=None,
+        format_record=None,
+        boundary_hook=None,
+    ):
+        """Continue interrupted run ``run_id`` from its last checkpoint.
+
+        The crash-recovery entry point for the serve layer: a journal
+        replay knows a job was ``started`` under ``run_id`` but never
+        ``finished``, so the restarted service asks the driver to pick
+        the run back up. The newest *verified* checkpoint under
+        ``/pregelix/<run_id>/ckpt`` is restored through the standard
+        PR-3 recovery plan and the superstep loop continues from there;
+        when no verified checkpoint exists (the crash predates the first
+        commit, or the DFS died with the process) the job is simply
+        re-run from ``input_path`` under the same run id — results are
+        deterministic per plan class, so both paths end bit-identical.
+        """
+        parse_line, format_record = _default_formats(parse_line, format_record)
+        num_partitions = self._checkpointed_partitions(run_id)
+        if num_partitions is None:
+            return self.run(
+                job, input_path, output_path=output_path,
+                parse_line=parse_line, format_record=format_record,
+                run_id=run_id, boundary_hook=boundary_hook,
+            )
+        partition_map = self._pin_initial_map(run_id, num_partitions=num_partitions)
+        generator = PlanGenerator(job, self.dfs, run_id, partition_map)
+        telemetry = self.telemetry
+        retry = RetryPolicy(telemetry=telemetry)
+        retain = getattr(job, "checkpoint_retain", None) or 2
+        checkpointer = Checkpointer(
+            generator, telemetry=telemetry, retry=retry, retain=retain
+        )
+        superstep = checkpointer.latest_checkpoint()
+        if superstep is None:
+            # Committed directories exist but none verifies — re-run.
+            self.cluster.release_placement(run_id)
+            return self.run(
+                job, input_path, output_path=output_path,
+                parse_line=parse_line, format_record=format_record,
+                run_id=run_id, boundary_hook=boundary_hook,
+            )
+        with telemetry.span(
+            "pregelix:%s" % job.name, category="pregelix", run_id=run_id
+        ):
+            with telemetry.span("resume", category="recovery", run_id=run_id):
+                self.cluster.execute(
+                    checkpointer.recovery_plan(superstep, generator)
+                )
+                gs = checkpointer.restore_gs(superstep)
+            telemetry.event(
+                "recovery.resume", category="recovery", run_id=run_id,
+                superstep=superstep, partitions=num_partitions,
+            )
+            try:
+                gs, generator, stats, recoveries = self._superstep_loop(
+                    job, generator, gs, boundary_hook=boundary_hook
+                )
+            except (DeadlineExceeded, JobCancelled):
+                self.cleanup(generator)
+                raise
+
+            injector = getattr(self.cluster, "fault_injector", None)
+            if injector is not None:
+                injector.disarm(reason="superstep loop complete", scope="engine")
+
+            dump_seconds = 0.0
+            if output_path is not None:
+                with telemetry.span("dump", category="phase", run_id=run_id):
+                    dump_started = time.perf_counter()
+                    self.cluster.execute(
+                        generator.dump_plan(output_path, format_record)
+                    )
+                    dump_seconds = time.perf_counter() - dump_started
+
+        outcome = JobOutcome(
+            job=job,
+            run_id=run_id,
+            gs=gs,
+            stats=stats,
+            load_seconds=0.0,
+            dump_seconds=dump_seconds,
+            recoveries=recoveries + 1,  # the crash itself was a recovery
+            output_path=output_path,
+        )
+        self.cleanup(generator)
+        return outcome
+
+    def _checkpointed_partitions(self, run_id):
+        """Partition count recorded by the newest readable manifest.
+
+        The count is derivable — every committed checkpoint stores one
+        ``vertex-p%05d`` blob per partition — and must be recovered
+        *before* a partition map exists, so this reads manifests
+        directly instead of going through a :class:`Checkpointer`.
+        Returns ``None`` when no manifest is readable (nothing was ever
+        committed, or the DFS did not survive the crash).
+        """
+        root = "/pregelix/%s/ckpt" % run_id
+        prefix = root + "/"
+        steps = set()
+        for path in self.dfs.list_files(root):
+            step, _, what = path[len(prefix):].partition("/")
+            if step.isdigit() and what == MANIFEST_NAME:
+                steps.add(int(step))
+        for step in sorted(steps, reverse=True):
+            try:
+                manifest = load_manifest(self.dfs, "%s/%06d" % (root, step))
+            except Exception:
+                continue
+            count = sum(
+                1
+                for name in manifest.get("files", {})
+                if name.startswith("vertex-p")
+            )
+            if count:
+                return count
+        return None
+
     # ------------------------------------------------------------------
     # partition maps on an elastic cluster
     # ------------------------------------------------------------------
@@ -191,15 +340,17 @@ class PregelixDriver:
             offset = zlib.crc32(run_id.encode("utf-8")) % len(nodes)
         return PartitionMap.balanced(nodes, num_partitions, offset=offset)
 
-    def _pin_initial_map(self, run_id):
+    def _pin_initial_map(self, run_id, num_partitions=None):
         """Build the run's partition map and pin it against retirement.
 
         An autoscaler may retire a node between map construction and the
         pin; registration validates membership, so losing that race just
-        means rebuilding over the survivors.
+        means rebuilding over the survivors. ``num_partitions`` overrides
+        the cluster-derived count — resume passes the count recorded in
+        the checkpoint manifest so restored partitions line up.
         """
         while True:
-            partition_map = self._balanced_map(run_id)
+            partition_map = self._balanced_map(run_id, num_partitions=num_partitions)
             try:
                 self.cluster.register_placement(run_id, partition_map.locations)
             except SchedulingError:
@@ -209,7 +360,8 @@ class PregelixDriver:
     # ------------------------------------------------------------------
     # the superstep loop (shared with job pipelining)
     # ------------------------------------------------------------------
-    def _superstep_loop(self, job, generator, gs, scale_at=None):
+    def _superstep_loop(self, job, generator, gs, scale_at=None,
+                        boundary_hook=None):
         telemetry = self.telemetry
         retry = RetryPolicy(telemetry=telemetry)
         if getattr(self.dfs, "retry_policy", None) is None:
@@ -268,6 +420,14 @@ class PregelixDriver:
                     break
                 if job.max_supersteps is not None and gs.superstep >= job.max_supersteps:
                     break
+                if boundary_hook is not None:
+                    # Cooperative control point: deadlines, cancels, and
+                    # crash drills fire here — after the completion
+                    # checks above, so a job that just finished is never
+                    # killed at its own final boundary. Anything the
+                    # hook raises outside the recoverable set below
+                    # unwinds the run instead of re-entering recovery.
+                    boundary_hook(gs.superstep)
                 generator, checkpointer = self._maybe_rebalance(
                     job, generator, checkpointer, gs, retry, retain, injector, stats
                 )

@@ -9,6 +9,12 @@ admission control (:mod:`repro.serve.admission`), weighted fair-share
 scheduling (:mod:`repro.serve.queue`), isolated execution, and a result
 cache (:mod:`repro.serve.cache`); :mod:`repro.serve.http` exposes the
 whole thing over plain HTTP.
+
+Crash safety (DESIGN.md §16): :mod:`repro.serve.journal` write-ahead
+logs every job lifecycle transition so a restarted service recovers
+every journaled job; :mod:`repro.serve.watchdog` flags wedged runs; the
+service enforces per-job deadlines cooperatively and sheds load when
+the queue or the journal falls behind.
 """
 
 from repro.serve.admission import (
@@ -24,13 +30,29 @@ from repro.serve.api import (
     JobRequest,
     JobState,
     Rejection,
+    ServiceCrashed,
+    advance_job_ids,
     result_document,
 )
 from repro.serve.autoscale import AutoscalePolicy, Autoscaler
-from repro.serve.cache import LRUCache, PlanCache, ResultCache, plan_class
+from repro.serve.cache import (
+    LRUCache,
+    PlanCache,
+    ResultCache,
+    plan_class,
+    result_digest,
+)
 from repro.serve.http import ServeHTTPServer
+from repro.serve.journal import (
+    DFSJournalStorage,
+    Journal,
+    JournalReplay,
+    LocalJournalStorage,
+    open_journal,
+)
 from repro.serve.queue import FairShareQueue
 from repro.serve.service import Dataset, JobService
+from repro.serve.watchdog import StuckJobWatchdog
 
 __all__ = [
     "SERVABLE_ALGORITHMS",
@@ -39,19 +61,28 @@ __all__ = [
     "AdmissionRejected",
     "AutoscalePolicy",
     "Autoscaler",
+    "DFSJournalStorage",
     "Dataset",
     "FairShareQueue",
     "JobRecord",
     "JobRequest",
     "JobService",
     "JobState",
+    "Journal",
+    "JournalReplay",
     "LRUCache",
+    "LocalJournalStorage",
     "PlanCache",
     "Rejection",
     "ResultCache",
     "ServeHTTPServer",
+    "ServiceCrashed",
+    "StuckJobWatchdog",
     "TenantQuota",
+    "advance_job_ids",
     "estimate_job_bytes",
+    "open_journal",
     "plan_class",
+    "result_digest",
     "result_document",
 ]

@@ -9,7 +9,6 @@ over HTTP produce byte-identical JSON payloads (modulo serving metadata).
 """
 
 import enum
-import itertools
 import json
 import threading
 import time
@@ -54,6 +53,15 @@ REJECT_OVER_MEMORY = "over_memory"
 REJECT_QUEUE_FULL = "queue_full"
 REJECT_DRAINING = "draining"
 REJECT_BAD_REQUEST = "bad_request"
+#: The service is shedding load (queue depth / journal latency over
+#: threshold) — retry later; mapped to HTTP 503 + Retry-After.
+REJECT_OVERLOADED = "overloaded"
+#: The submission matches a poison job that failed deterministically
+#: twice; re-submission is refused until an operator clears it.
+REJECT_QUARANTINED = "quarantined"
+
+#: ``error_kind`` a deadline-exceeded job fails with.
+ERROR_KIND_TIMEOUT = "timeout"
 
 
 @dataclass(frozen=True)
@@ -81,6 +89,22 @@ class AdmissionRejected(ReproError):
         super().__init__("%s: %s" % (rejection.code, rejection.reason))
 
 
+class ServiceCrashed(ReproError):
+    """The simulated service process died (the ``service.crash`` site).
+
+    Deliberately outside the driver's recoverable set: a crashed
+    *service* must not be absorbed by a running job's checkpoint
+    recovery — the whole process is gone, and only a restarted service
+    replaying the journal may continue the work.
+    """
+
+    def __init__(self, phase=""):
+        self.phase = phase
+        super().__init__(
+            "service crashed%s" % (" during %s" % phase if phase else "")
+        )
+
+
 @dataclass
 class JobRequest:
     """One tenant's ask: run ``algorithm`` over a pre-loaded ``dataset``.
@@ -90,6 +114,9 @@ class JobRequest:
         ``None`` lets the service pick (plan cache, then job defaults).
     :param optimize: run under the cost-based optimizer.
     :param use_cache: consult/populate the result cache.
+    :param deadline_seconds: wall-clock budget for the run, enforced
+        cooperatively at superstep boundaries; ``None`` applies the
+        service default (which may also be ``None`` — no deadline).
     """
 
     tenant: str
@@ -100,6 +127,7 @@ class JobRequest:
     optimize: bool = False
     use_cache: bool = True
     max_supersteps: int = None
+    deadline_seconds: float = None
 
     @classmethod
     def from_dict(cls, doc):
@@ -111,6 +139,14 @@ class JobRequest:
         params = doc.get("params") or {}
         if not isinstance(params, dict):
             raise ValueError("params must be an object")
+        deadline = doc.get("deadline_seconds")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise ValueError("deadline_seconds must be a number")
+            if deadline <= 0:
+                raise ValueError("deadline_seconds must be positive")
         return cls(
             tenant=str(doc["tenant"]),
             algorithm=str(doc["algorithm"]),
@@ -120,6 +156,7 @@ class JobRequest:
             optimize=bool(doc.get("optimize", False)),
             use_cache=bool(doc.get("use_cache", True)),
             max_supersteps=doc.get("max_supersteps"),
+            deadline_seconds=deadline,
         )
 
     def to_dict(self):
@@ -132,7 +169,14 @@ class JobRequest:
             "optimize": self.optimize,
             "use_cache": self.use_cache,
             "max_supersteps": self.max_supersteps,
+            "deadline_seconds": self.deadline_seconds,
         }
+
+    def poison_key(self):
+        """The quarantine identity: what makes a re-submission "the same
+        job" for poison-job purposes. Tenant is excluded — a poison job
+        is poison no matter who submits it."""
+        return "%s|%s|%s" % (self.algorithm, self.dataset, self.params_key())
 
     def params_key(self):
         """Canonical, order-independent params rendering for cache keys."""
@@ -144,11 +188,30 @@ class JobRequest:
         return json.dumps(merged, sort_keys=True, separators=(",", ":"))
 
 
-_job_ids = itertools.count(1)
+_job_id_counter = 0
+_job_ids_lock = threading.Lock()
 
 
 def next_job_id():
-    return "job-%06d" % next(_job_ids)
+    global _job_id_counter
+    with _job_ids_lock:
+        _job_id_counter += 1
+        return "job-%06d" % _job_id_counter
+
+
+def advance_job_ids(past):
+    """Ensure future job ids start after ``past`` (an id or a number).
+
+    Journal replay calls this with the highest journaled id so a
+    restarted process — whose module-level counter reset to zero —
+    never re-issues an id that already names a journaled job.
+    """
+    global _job_id_counter
+    if isinstance(past, str):
+        digits = past.rsplit("-", 1)[-1]
+        past = int(digits) if digits.isdigit() else 0
+    with _job_ids_lock:
+        _job_id_counter = max(_job_id_counter, int(past))
 
 
 @dataclass
@@ -168,9 +231,36 @@ class JobRecord:
     run_id: str = None
     estimated_bytes: int = 0
     result: dict = None  # the shared result document (see result_document)
+    #: Effective wall-clock budget (request value or the service default).
+    deadline_seconds: float = None
+    #: Cooperative-cancel flag: ``None`` until someone asks, then the
+    #: reason (``"user"`` / ``"stuck"``); honored at the next boundary.
+    cancel_requested: str = None
+    #: sha256 digest of the deterministic part of the result document.
+    result_digest: str = None
+    #: Set on journal replay of an interrupted run: resume this run id
+    #: from its last verified checkpoint instead of starting fresh.
+    resume_run_id: str = None
+    #: The resolved physical plan the run executed (short signature),
+    #: journaled so a resumed run rebuilds the identical plan even
+    #: though the restarted process's plan cache is empty.
+    plan_signature: str = None
+    #: Was this record reconstructed by journal replay?
+    recovered: bool = False
 
     def __post_init__(self):
         self._done = threading.Event()
+        # Boundary progress, fed by the driver's boundary hook and read
+        # by the stuck-job watchdog: (superstep, monotonic stamp of the
+        # last boundary, rolling mean seconds per superstep).
+        self.progress_superstep = 0
+        self.progress_boundary_at = None
+        self.progress_avg_seconds = 0.0
+        # Monotonic stamp the deadline clock runs from (set when the job
+        # enters RUNNING; spans retries — the budget is per job, not per
+        # attempt) and the resolved result-cache key of a finished run.
+        self.deadline_base = None
+        self.cache_key = None
 
     def mark(self, state):
         self.state = state
@@ -186,6 +276,18 @@ class JobRecord:
             return None
         return self.state
 
+    def note_boundary(self, now=None):
+        """Record one superstep boundary for deadline/watchdog bookkeeping."""
+        now = time.monotonic() if now is None else now
+        if self.progress_boundary_at is not None:
+            elapsed = max(now - self.progress_boundary_at, 0.0)
+            steps = self.progress_superstep
+            self.progress_avg_seconds = (
+                (self.progress_avg_seconds * steps + elapsed) / (steps + 1)
+            )
+        self.progress_superstep += 1
+        self.progress_boundary_at = now
+
     def to_dict(self):
         return {
             "job_id": self.job_id,
@@ -200,6 +302,10 @@ class JobRecord:
             "cache_hit": self.cache_hit,
             "run_id": self.run_id,
             "has_result": self.result is not None,
+            "deadline_seconds": self.deadline_seconds,
+            "cancel_requested": self.cancel_requested,
+            "result_digest": self.result_digest,
+            "recovered": self.recovered,
         }
 
 

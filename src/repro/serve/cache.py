@@ -21,8 +21,43 @@ Both are thread-safe and count hits/misses into the telemetry registry
 (``serve.cache_hit`` / ``serve.cache_miss``).
 """
 
+import hashlib
+import json
 import threading
 from collections import OrderedDict
+
+#: Result-document fields covered by :func:`result_digest` — exactly the
+#: deterministic payload the differential harness proves bit-identical
+#: per (budget, group-by, connector) class. Timings, run ids, and
+#: recovery counts legitimately differ between an uninterrupted run and
+#: a crash-resumed one, so they stay out of the digest.
+DIGEST_FIELDS = (
+    "algorithm",
+    "supersteps",
+    "num_vertices",
+    "num_edges",
+    "aggregate",
+    "results",
+)
+
+
+def result_digest(document):
+    """sha256 over the deterministic fields of a result document.
+
+    Two runs of the same request in the same plan class — including an
+    uninterrupted run versus one resumed from a checkpoint after a
+    service crash — must produce the same digest; per-run timings and
+    recovery counts are excluded. ``results`` lines are sorted so the
+    digest is also independent of partition dump order.
+    """
+    projection = {}
+    for name in DIGEST_FIELDS:
+        value = document.get(name)
+        if name == "results" and value is not None:
+            value = sorted(value)
+        projection[name] = value
+    encoded = json.dumps(projection, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 class LRUCache:

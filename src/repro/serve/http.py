@@ -2,9 +2,15 @@
 
 Endpoints (JSON in, JSON out)::
 
-    POST /jobs              submit a job; 202 on admit, 429/400 on reject
+    POST /jobs              submit a job; 202 on admit, 429/400 on
+                            reject, 503 + Retry-After when shedding
     GET  /jobs/<id>         job record (state, timings, errors)
     GET  /jobs/<id>/result  the shared result document; 409 until terminal
+    POST /jobs/<id>/cancel  cancel: 200 (queued, now terminal), 202
+                            (running, cooperative flag set), 409 with
+                            the terminal state when the job already
+                            finished — a cancel racing a completion is
+                            deterministic, never a false 200
     GET  /jobs              all job records (most recent first)
     GET  /healthz           liveness: 200 while serving/draining (the
                             payload flags ``degraded`` when any node is
@@ -16,8 +22,11 @@ Endpoints (JSON in, JSON out)::
 Built on :class:`http.server.ThreadingHTTPServer` so the service is
 drivable from outside the process without any dependency beyond the
 standard library. Rejections map admission codes onto HTTP statuses:
+``overloaded`` (shedding) → 503, ``quarantined`` → 403,
 ``over_memory``/``queue_full``/``draining`` → 429 (with a
 ``Retry-After`` hint for the retryable ones), everything else → 400.
+A job that failed by deadline answers its result query with 410 plus a
+``Retry-After`` hint (re-submission with a larger budget may succeed).
 """
 
 import json
@@ -25,15 +34,19 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serve.api import (
+    ERROR_KIND_TIMEOUT,
     REJECT_DRAINING,
     REJECT_OVER_MEMORY,
+    REJECT_OVERLOADED,
+    REJECT_QUARANTINED,
     REJECT_QUEUE_FULL,
     AdmissionRejected,
     Rejection,
+    ServiceCrashed,
 )
 
 #: Admission codes that are the client's "try later", not "never".
-_RETRYABLE = (REJECT_QUEUE_FULL, REJECT_DRAINING)
+_RETRYABLE = (REJECT_QUEUE_FULL, REJECT_DRAINING, REJECT_OVERLOADED)
 _TOO_MANY = (REJECT_OVER_MEMORY, REJECT_QUEUE_FULL, REJECT_DRAINING)
 
 
@@ -79,11 +92,17 @@ class _Handler(BaseHTTPRequestHandler):
                         details={"state": record.state.value},
                     )
                 elif record.result is None:
+                    headers = None
+                    if record.error_kind == ERROR_KIND_TIMEOUT:
+                        # Deadline-failed: worth retrying with a larger
+                        # budget once load drops.
+                        headers = {"Retry-After": "1"}
                     self._error(
                         410, "no_result",
                         record.error or "job produced no result",
                         details={"state": record.state.value,
                                  "error_kind": record.error_kind},
+                        headers=headers,
                     )
                 else:
                     doc = dict(record.result)
@@ -107,11 +126,21 @@ class _Handler(BaseHTTPRequestHandler):
                 record = self.service.submit(body)
             except AdmissionRejected as rejected:
                 rejection = rejected.rejection
-                status = 429 if rejection.code in _TOO_MANY else 400
-                headers = (
-                    {"Retry-After": "1"} if rejection.code in _RETRYABLE else None
-                )
+                if rejection.code == REJECT_OVERLOADED:
+                    status = 503  # shedding: service-side, retryable
+                elif rejection.code == REJECT_QUARANTINED:
+                    status = 403  # poison job: refused until cleared
+                elif rejection.code in _TOO_MANY:
+                    status = 429
+                else:
+                    status = 400
+                headers = None
+                if rejection.code in _RETRYABLE:
+                    retry_after = rejection.details.get("retry_after_seconds", 1)
+                    headers = {"Retry-After": str(int(retry_after))}
                 self._json(status, {"error": rejection.to_dict()}, headers=headers)
+            except ServiceCrashed:
+                self._error(503, "crashed", "service crashed; restart pending")
             except ValueError as error:
                 self._error(400, "bad_request", str(error))
             else:
@@ -134,14 +163,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200, outcome)
         elif path.startswith("/jobs/") and path.endswith("/cancel"):
             job_id = path.split("/")[2]
-            if self.service.get(job_id) is None:
+            outcome = self.service.cancel_job(job_id)
+            status = outcome["status"]
+            if status == "not_found":
                 self._error(404, "not_found", "no such job %r" % job_id)
-            else:
-                cancelled = self.service.cancel(job_id)
-                self._json(
-                    200 if cancelled else 409,
-                    {"job_id": job_id, "cancelled": cancelled},
-                )
+            elif status == "cancelled":
+                self._json(200, outcome)
+            elif status == "cancelling":
+                self._json(202, outcome)
+            else:  # terminal: report what actually won the race
+                self._json(409, outcome)
         else:
             self._error(404, "not_found", "unknown path %r" % path)
 

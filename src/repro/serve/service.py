@@ -15,6 +15,17 @@ The pipeline per submission is admission → fair-share queue → dispatch
 → (result cache) — see DESIGN.md §14. Job failures route through the
 standard failure classification: transient faults are retried (bounded),
 fatal ones fail only that job; the service itself never dies with a job.
+
+Crash safety (DESIGN.md §16): with a journal attached, every lifecycle
+transition is written ahead to an append-only CRC-framed WAL
+(:mod:`repro.serve.journal`), so a service process that dies at any
+instant can be restarted and :meth:`JobService.recover` replays the
+journal — queued jobs re-enqueue, interrupted running jobs resume from
+their last verified checkpoint, finished jobs re-seed the result cache
+and never re-execute. Per-job wall-clock deadlines and a stuck-job
+watchdog are enforced cooperatively at superstep boundaries, and
+overload shedding rejects submissions with a retryable 503 before they
+consume admission work.
 """
 
 import hashlib
@@ -22,10 +33,19 @@ import os
 import threading
 import time
 
-from repro.common.errors import ReproError
+from repro.common.errors import (
+    DeadlineExceeded,
+    JobCancelled,
+    ReproError,
+)
 from repro.hdfs import MiniDFS
 from repro.hyracks.engine import HyracksCluster
-from repro.pregelix.failure import HeartbeatMonitor, failure_cause, is_transient
+from repro.pregelix.failure import (
+    HeartbeatMonitor,
+    RetryPolicy,
+    failure_cause,
+    is_transient,
+)
 from repro.pregelix.runtime import PregelixDriver
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.admission import (
@@ -35,8 +55,11 @@ from repro.serve.admission import (
     TenantQuota,
 )
 from repro.serve.api import (
+    ERROR_KIND_TIMEOUT,
     REJECT_BAD_REQUEST,
     REJECT_DRAINING,
+    REJECT_OVERLOADED,
+    REJECT_QUARANTINED,
     REJECT_UNKNOWN_ALGORITHM,
     REJECT_UNKNOWN_DATASET,
     SERVABLE_ALGORITHMS,
@@ -45,11 +68,21 @@ from repro.serve.api import (
     JobRequest,
     JobState,
     Rejection,
+    ServiceCrashed,
+    advance_job_ids,
     next_job_id,
     result_document,
 )
-from repro.serve.cache import PlanCache, ResultCache, plan_class
+from repro.serve.cache import PlanCache, ResultCache, plan_class, result_digest
+from repro.serve.journal import (
+    RECORD_CANCELLED,
+    RECORD_FINISHED,
+    RECORD_STARTED,
+    RECORD_SUBMITTED,
+    open_journal,
+)
 from repro.serve.queue import FairShareQueue
+from repro.serve.watchdog import StuckJobWatchdog
 from repro.telemetry import Telemetry
 
 
@@ -90,6 +123,22 @@ class JobService:
         cluster with load (nodes join and drain at superstep boundaries;
         results stay byte-identical because the partition *count* is
         pinned at construction, see ``virtual_partitions``).
+    :param journal: crash-safety WAL — a
+        :class:`~repro.serve.journal.Journal`, a DFS path string
+        (``/serve/journal.wal``-style), or a local directory/file path
+        (survives ``kill -9``); ``None`` disables journaling.
+    :param default_deadline_seconds: wall-clock budget applied to
+        submissions that do not carry their own ``deadline_seconds``.
+    :param checkpoint_interval: superstep interval forced onto served
+        jobs when a journal is attached (resume needs checkpoints to
+        land on); jobs that already set one keep theirs. 0 disables.
+    :param shed_queue_depth: queue depth at which new submissions are
+        shed with a retryable ``overloaded`` rejection (None = never).
+    :param shed_append_seconds: rolling journal-append latency at which
+        submissions are shed (None = never).
+    :param watchdog: ``False`` disables the stuck-job watchdog;
+        ``None``/``True`` runs it with defaults; a
+        :class:`~repro.serve.watchdog.StuckJobWatchdog` is used as-is.
     """
 
     def __init__(
@@ -108,6 +157,12 @@ class JobService:
         dfs=None,
         autoscale=None,
         autoscale_interval=0.25,
+        journal=None,
+        default_deadline_seconds=None,
+        checkpoint_interval=2,
+        shed_queue_depth=None,
+        shed_append_seconds=None,
+        watchdog=None,
     ):
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if cluster is None:
@@ -159,8 +214,35 @@ class JobService:
         self._reserved_bytes = 0
         self._running = {}  # job_id -> JobRecord popped off the queue
         self._executing = {}  # job_id -> JobRecord past the dispatch gate
-        self._state = "new"  # new / serving / draining / stopped
+        self._state = "new"  # new / serving / draining / stopped / crashed
         self._rejections = 0
+        self._shed = 0
+        self._deadline_exceeded = 0
+        self.default_deadline_seconds = default_deadline_seconds
+        self.checkpoint_interval = checkpoint_interval
+        self.shed_queue_depth = shed_queue_depth
+        self.shed_append_seconds = shed_append_seconds
+        # Poison-job quarantine: request identity -> strike bookkeeping.
+        self._poison_strikes = {}
+        self._quarantine = {}
+        self.journal = None
+        if journal is not None:
+            self.journal = open_journal(
+                journal,
+                telemetry=self.telemetry,
+                # Resolved per append: chaos attaches its injector to the
+                # DFS after the service is constructed.
+                fault_injector=lambda: getattr(self.dfs, "fault_injector", None),
+                retry=RetryPolicy(telemetry=self.telemetry),
+                dfs=self.dfs,
+            )
+        self.watchdog = None
+        if watchdog is not False:
+            self.watchdog = (
+                watchdog
+                if isinstance(watchdog, StuckJobWatchdog)
+                else StuckJobWatchdog(self)
+            )
 
     # ------------------------------------------------------------------
     # datasets
@@ -219,6 +301,11 @@ class JobService:
                 return self
             if self._state == "stopped":
                 raise ReproError("service already stopped")
+            if self._state == "crashed":
+                raise ReproError(
+                    "service crashed; build a fresh JobService over the "
+                    "same journal and call recover()"
+                )
             self._state = "serving"
             self.started_at = time.time()
             for i in range(self._num_workers):
@@ -237,6 +324,8 @@ class JobService:
             if target != current:
                 self.cluster.scale_to(target)
             self.autoscaler.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
         self.telemetry.event(
             "serve.start", category="serve", workers=self._num_workers,
             nodes=len(self.cluster.nodes),
@@ -255,6 +344,8 @@ class JobService:
         self.telemetry.event("serve.drain", category="serve")
         while True:
             with self._lock:
+                if self._state == "crashed":
+                    return False  # nothing will finish; the journal has it
                 idle = not self._running and len(self.queue) == 0
             if idle:
                 return True
@@ -266,15 +357,19 @@ class JobService:
         """Drain (optionally), stop the workers, release the cluster."""
         if self.autoscaler is not None:
             self.autoscaler.stop()
+        if self.watchdog is not None:
+            self.watchdog.stop()
         drained = self.drain(timeout=timeout) if drain else False
         if not drain:
             with self._lock:
-                self._state = "draining"
+                if self._state != "crashed":
+                    self._state = "draining"
         self.queue.close()
         for thread in self._threads:
             thread.join(timeout=5.0)
         with self._lock:
-            self._state = "stopped"
+            if self._state != "crashed":
+                self._state = "stopped"
         if self._owns_cluster:
             self.cluster.close()
         self.telemetry.event("serve.stop", category="serve", drained=drained)
@@ -286,6 +381,262 @@ class JobService:
     def __exit__(self, *exc):
         self.shutdown()
         return False
+
+    # ------------------------------------------------------------------
+    # restart recovery (DESIGN.md §16)
+    # ------------------------------------------------------------------
+    def recover(self):
+        """Replay the journal into live state — the restart half.
+
+        Call on a fresh service (datasets re-registered first) built
+        over the previous process's journal. Per journaled job:
+
+        * ``finished`` → a terminal record; a succeeded one re-seeds the
+          result cache from its journaled key, so the job is never
+          re-executed.
+        * ``cancelled`` → stays cancelled.
+        * ``started`` with no terminal record → re-queued carrying its
+          run id and plan signature; it resumes from its last verified
+          checkpoint (or restarts fresh under the same pinned plan when
+          no checkpoint committed).
+        * ``submitted`` only → simply re-queued.
+
+        Also advances the job-id counter past every journaled id.
+        Returns a summary document.
+        """
+        if self.journal is None:
+            raise ReproError("recover() requires a journal")
+        replay = self.journal.replay()
+        jobs = replay.by_job()
+        summary = {
+            "jobs": len(jobs), "finished": 0, "cancelled": 0,
+            "resumed": 0, "requeued": 0, "skipped": 0,
+            "torn_bytes": replay.torn_bytes,
+        }
+        for job_id, entry in jobs.items():
+            advance_job_ids(job_id)
+            submitted = entry.get(RECORD_SUBMITTED)
+            if submitted is None:
+                summary["skipped"] += 1
+                continue  # cannot reconstruct a request that never logged
+            try:
+                request = JobRequest.from_dict(submitted.get("request"))
+            except ValueError:
+                summary["skipped"] += 1
+                continue
+            record = JobRecord(job_id=job_id, request=request)
+            record.recovered = True
+            record.deadline_seconds = submitted.get("deadline_seconds")
+            record.estimated_bytes = int(submitted.get("estimated_bytes") or 0)
+            finished = entry.get(RECORD_FINISHED)
+            cancelled = entry.get(RECORD_CANCELLED)
+            started = entry.get(RECORD_STARTED)
+            with self._lock:
+                self.jobs[job_id] = record
+            if finished is not None:
+                record.run_id = finished.get("run_id")
+                record.cache_hit = bool(finished.get("cache_hit"))
+                if finished.get("state") == JobState.SUCCEEDED.value:
+                    record.result = finished.get("result")
+                    record.result_digest = finished.get("digest")
+                    key = finished.get("cache_key")
+                    if (
+                        key is not None
+                        and record.result is not None
+                        and self.result_cache is not None
+                        and request.use_cache
+                    ):
+                        record.cache_key = tuple(key)
+                        self.result_cache.put(record.cache_key, record.result)
+                    record.mark(JobState.SUCCEEDED)
+                else:
+                    record.error = finished.get("error")
+                    record.error_kind = finished.get("error_kind")
+                    record.mark(JobState.FAILED)
+                summary["finished"] += 1
+            elif cancelled is not None:
+                record.error = cancelled.get("error") or "cancelled"
+                record.error_kind = "cancelled"
+                record.mark(JobState.CANCELLED)
+                summary["cancelled"] += 1
+            else:
+                if started is not None:
+                    record.resume_run_id = started.get("run_id")
+                    record.plan_signature = started.get("plan")
+                    summary["resumed"] += 1
+                else:
+                    summary["requeued"] += 1
+                with self._lock:
+                    record.mark(JobState.QUEUED)
+                    self.queue.push(request.tenant, record)
+                    self._observe_queue_depth()
+        self.telemetry.event("serve.recover", category="serve", **summary)
+        return summary
+
+    # ------------------------------------------------------------------
+    # crash simulation (the service.crash chaos site)
+    # ------------------------------------------------------------------
+    def _crash_check(self, phase, **info):
+        """Consult the ``service.crash`` chaos site; die if it fires.
+
+        The injector's ``node`` field carries the lifecycle phase
+        (``queued`` / ``dispatch`` / ``running`` / ``finishing``) so a
+        drill can pick exactly where the process dies.
+        """
+        injector = getattr(self.dfs, "fault_injector", None)
+        if injector is None:
+            injector = getattr(self.cluster, "fault_injector", None)
+        if injector is None:
+            return
+        try:
+            injector.check("service.crash", node=phase, **info)
+        except ReproError as failure:
+            self._simulate_crash(phase)
+            raise ServiceCrashed(phase) from failure
+
+    def _simulate_crash(self, phase):
+        """Everything a SIGKILL does, minus exiting the test process:
+        no more admissions, no more journal writes, worker threads
+        unwind at their next control point, queued work is abandoned in
+        place. Only the journal (and committed checkpoints) carry the
+        service's obligations forward."""
+        with self._lock:
+            if self._state == "crashed":
+                return
+            self._state = "crashed"
+        if self.journal is not None:
+            self.journal.freeze()
+        self.queue.close()
+        self.telemetry.event("serve.crash", category="serve", phase=phase)
+        self.telemetry.registry.counter("serve.crashes").inc()
+
+    # ------------------------------------------------------------------
+    # terminal transitions
+    # ------------------------------------------------------------------
+    def _finalize(self, record, state, error=None, error_kind=None, reason=None):
+        """The single path to a terminal state: idempotent mark + WAL.
+
+        Returns ``False`` with no side effects when the record is
+        already terminal — this is what makes a cancel racing a
+        completion deterministic: whichever transition gets here first
+        wins, and the loser observes the winner's state instead of
+        silently overwriting it.
+        """
+        with self._lock:
+            if record.state.terminal:
+                return False
+            if error is not None:
+                record.error = error
+                record.error_kind = error_kind
+            record.mark(state)
+        tenant = record.request.tenant
+        if state is JobState.SUCCEEDED:
+            self.telemetry.registry.counter("serve.succeeded", tenant=tenant).inc()
+        elif state is JobState.FAILED:
+            self.telemetry.registry.counter("serve.failed", tenant=tenant).inc()
+        else:
+            self.telemetry.registry.counter("serve.cancelled", tenant=tenant).inc()
+        self._journal_finished(record, state, reason=reason)
+        return True
+
+    def _journal_finished(self, record, state, reason=None):
+        if self.journal is None:
+            return
+        try:
+            if state is JobState.CANCELLED:
+                self.journal.append(
+                    RECORD_CANCELLED, record.job_id,
+                    reason=reason or record.cancel_requested or "user",
+                    error=record.error,
+                )
+                return
+            fields = {
+                "state": state.value,
+                "run_id": record.run_id,
+                "cache_hit": record.cache_hit,
+            }
+            if state is JobState.SUCCEEDED:
+                fields["result"] = record.result
+                fields["digest"] = record.result_digest
+                if record.cache_key is not None:
+                    fields["cache_key"] = list(record.cache_key)
+            else:
+                fields["error"] = record.error
+                fields["error_kind"] = record.error_kind
+            self.journal.append(RECORD_FINISHED, record.job_id, **fields)
+        except ServiceCrashed:
+            pass  # frozen journal: the restart will re-drive this job
+        except ReproError as error:
+            # A journal fault must not turn a finished job into a failed
+            # one; worst case the restart re-executes it, landing on the
+            # same digest.
+            self.telemetry.event(
+                "serve.journal.error", category="serve",
+                job_id=record.job_id, error=str(error),
+            )
+
+    # ------------------------------------------------------------------
+    # poison-job quarantine
+    # ------------------------------------------------------------------
+    def _strike(self, record, error):
+        """Count one deterministic failure; quarantine at two strikes."""
+        key = record.request.poison_key()
+        with self._lock:
+            strikes = self._poison_strikes.get(key, 0) + 1
+            self._poison_strikes[key] = strikes
+            newly_quarantined = strikes >= 2 and key not in self._quarantine
+            if newly_quarantined:
+                self._quarantine[key] = {
+                    "algorithm": record.request.algorithm,
+                    "dataset": record.request.dataset,
+                    "params_key": record.request.params_key(),
+                    "strikes": strikes,
+                    "last_error": str(error),
+                    "job_id": record.job_id,
+                }
+            elif key in self._quarantine:
+                self._quarantine[key]["strikes"] = strikes
+        if newly_quarantined:
+            self.telemetry.event(
+                "serve.quarantine", category="serve", job_id=record.job_id,
+                key=key, strikes=strikes,
+            )
+            self.telemetry.registry.counter("serve.quarantined").inc()
+        return strikes
+
+    def clear_quarantine(self, key=None):
+        """Operator hook: forgive one poison key (or all of them)."""
+        with self._lock:
+            if key is None:
+                cleared = len(self._quarantine)
+                self._quarantine.clear()
+                self._poison_strikes.clear()
+            else:
+                cleared = 1 if self._quarantine.pop(key, None) is not None else 0
+                self._poison_strikes.pop(key, None)
+        return cleared
+
+    # ------------------------------------------------------------------
+    # watchdog surface
+    # ------------------------------------------------------------------
+    def executing_records(self):
+        """Snapshot of jobs past the dispatch gate (for the watchdog)."""
+        with self._lock:
+            return list(self._executing.values())
+
+    def flag_stuck(self, record, stall_seconds, threshold_seconds):
+        """Watchdog callback: cooperatively cancel a wedged run."""
+        with self._lock:
+            if record.state.terminal or record.cancel_requested:
+                return False
+            record.cancel_requested = "stuck"
+        self.telemetry.event(
+            "serve.watchdog.flag", category="serve", job_id=record.job_id,
+            stall_seconds=round(stall_seconds, 3),
+            threshold_seconds=round(threshold_seconds, 3),
+        )
+        self.telemetry.registry.counter("serve.watchdog_flagged").inc()
+        return True
 
     # ------------------------------------------------------------------
     # submission
@@ -305,27 +656,54 @@ class JobService:
             algorithm=request.algorithm, dataset=request.dataset,
         )
         self.telemetry.registry.counter("serve.submitted", tenant=request.tenant).inc()
+        # Overload shedding runs first: when the service is drowning,
+        # the cheapest possible answer — before validation even builds a
+        # throwaway job — is the retryable 503.
+        rejection = self._shed_check()
+        if rejection is not None:
+            self._shed += 1
+            self.telemetry.registry.counter("serve.shed").inc()
+            return self._reject(request, rejection)
         rejection = self._validate(request)
         if rejection is not None:
             return self._reject(request, rejection)
+        with self._lock:
+            quarantined = self._quarantine.get(request.poison_key())
+        if quarantined is not None:
+            return self._reject(request, Rejection(
+                code=REJECT_QUARANTINED,
+                reason="request matches a quarantined poison job "
+                       "(%d deterministic failures)" % quarantined["strikes"],
+                details=dict(quarantined),
+            ))
 
         dataset = self.datasets[request.dataset]
         record = JobRecord(job_id=next_job_id(), request=request)
+        record.deadline_seconds = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self.default_deadline_seconds
+        )
 
         # Serve repeats straight from the cache — no admission, no queue.
         cached = self._cached_result(request, dataset)
         if cached is not None:
             record.cache_hit = True
             record.result = dict(cached)
-            record.mark(JobState.SUCCEEDED)
+            record.result_digest = result_digest(record.result)
+            rejection = self._journal_submitted(record)
+            if rejection is not None:
+                return self._reject(request, rejection)
             with self._lock:
                 self.jobs[record.job_id] = record
+            self._finalize(record, JobState.SUCCEEDED)
             self.telemetry.event(
                 "serve.complete", category="serve", job_id=record.job_id,
                 tenant=request.tenant, cache_hit=True,
             )
             return record
 
+        rejection = None
         with self._lock:
             decision = self.admission.decide(
                 request,
@@ -338,18 +716,84 @@ class JobService:
                 pass  # fall through to the structured reject below
             else:
                 record.estimated_bytes = decision.estimated_bytes
-                self.jobs[record.job_id] = record
-                record.mark(JobState.QUEUED)
-                self.queue.push(request.tenant, record)
-                self._observe_queue_depth()
+                # The WAL write happens before the job becomes visible:
+                # once a client can observe QUEUED, a crash can no
+                # longer lose the submission.
+                rejection = self._journal_submitted(record)
+                if rejection is None:
+                    self.jobs[record.job_id] = record
+                    record.mark(JobState.QUEUED)
+                    self.queue.push(request.tenant, record)
+                    self._observe_queue_depth()
         if decision.action == REJECT:
             return self._reject(request, decision.rejection)
+        if rejection is not None:
+            return self._reject(request, rejection)
+        self._crash_check("queued", job_id=record.job_id)
         self.telemetry.event(
             "serve.admit", category="serve", job_id=record.job_id,
             tenant=request.tenant, action=decision.action,
             estimated_bytes=decision.estimated_bytes, reason=decision.reason,
         )
         return record
+
+    def _shed_check(self):
+        """Overload shedding (DESIGN.md §16): a retryable rejection when
+        the queue is too deep or the journal's rolling append latency
+        says durable writes can no longer keep up with arrivals."""
+        if self.shed_queue_depth is not None:
+            depth = len(self.queue)
+            if depth >= self.shed_queue_depth:
+                return Rejection(
+                    code=REJECT_OVERLOADED,
+                    reason="queue depth %d at shed threshold %d"
+                           % (depth, self.shed_queue_depth),
+                    details={
+                        "queue_depth": depth,
+                        "threshold": self.shed_queue_depth,
+                        "retry_after_seconds": 1,
+                    },
+                )
+        if self.journal is not None and self.shed_append_seconds is not None:
+            avg = self.journal.avg_append_seconds()
+            if avg > self.shed_append_seconds:
+                return Rejection(
+                    code=REJECT_OVERLOADED,
+                    reason="journal append latency %.4fs over shed "
+                           "threshold %.4fs" % (avg, self.shed_append_seconds),
+                    details={
+                        "avg_append_seconds": avg,
+                        "threshold_seconds": self.shed_append_seconds,
+                        "retry_after_seconds": 2,
+                    },
+                )
+        return None
+
+    def _journal_submitted(self, record):
+        """WAL the submission; a down journal sheds instead of enqueueing
+        work the service could not recover after a crash."""
+        if self.journal is None:
+            return None
+        try:
+            self.journal.append(
+                RECORD_SUBMITTED, record.job_id,
+                request=record.request.to_dict(),
+                estimated_bytes=record.estimated_bytes,
+                deadline_seconds=record.deadline_seconds,
+            )
+            return None
+        except ServiceCrashed:
+            raise
+        except ReproError as error:
+            self.telemetry.event(
+                "serve.journal.error", category="serve",
+                job_id=record.job_id, error=str(error),
+            )
+            return Rejection(
+                code=REJECT_OVERLOADED,
+                reason="journal unavailable: %s" % error,
+                details={"retry_after_seconds": 1},
+            )
 
     def _validate(self, request):
         with self._lock:
@@ -410,19 +854,55 @@ class JobService:
         with self._lock:
             return self.jobs.get(job_id)
 
-    def cancel(self, job_id):
-        """Cancel a queued job; running jobs are not preempted."""
+    def cancel_job(self, job_id, reason="user"):
+        """Cancel a job; returns a structured status document.
+
+        ``status`` is one of:
+
+        * ``cancelled`` — the job was still queued; it is now terminal.
+        * ``cancelling`` — the job is running; the cooperative cancel
+          flag is set and honored at its next superstep boundary.
+        * ``terminal`` — the job already finished. Its final state is
+          included, so a cancel racing a completion is deterministic:
+          whichever transition committed first wins and the caller is
+          told exactly what won, never a false ``cancelled``.
+        * ``not_found`` — no such job.
+        """
         with self._lock:
             record = self.jobs.get(job_id)
-            if record is None or record.state is not JobState.QUEUED:
-                return False
-            removed = self.queue.remove(lambda item: item.job_id == job_id)
+            if record is None:
+                return {"job_id": job_id, "status": "not_found",
+                        "cancelled": False}
+            if record.state.terminal:
+                return {"job_id": job_id, "status": "terminal",
+                        "state": record.state.value, "cancelled": False}
+            removed = 0
+            if record.state is JobState.QUEUED:
+                removed = self.queue.remove(lambda item: item.job_id == job_id)
+                if removed:
+                    self._observe_queue_depth()
             if not removed:
-                return False
-            record.mark(JobState.CANCELLED)
-            self._observe_queue_depth()
-        self.telemetry.event("serve.cancel", category="serve", job_id=job_id)
-        return True
+                # Running, or queued-but-already-popped: cooperative.
+                record.cancel_requested = record.cancel_requested or reason
+                self.telemetry.event(
+                    "serve.cancel", category="serve", job_id=job_id,
+                    status="cancelling", reason=reason,
+                )
+                return {"job_id": job_id, "status": "cancelling",
+                        "state": record.state.value, "cancelled": False}
+        self._finalize(record, JobState.CANCELLED,
+                       error="cancelled while queued",
+                       error_kind="cancelled", reason=reason)
+        self.telemetry.event(
+            "serve.cancel", category="serve", job_id=job_id,
+            status="cancelled", reason=reason,
+        )
+        return {"job_id": job_id, "status": "cancelled",
+                "state": record.state.value, "cancelled": True}
+
+    def cancel(self, job_id):
+        """Boolean convenience: ``True`` only for a queued-job cancel."""
+        return self.cancel_job(job_id)["status"] == "cancelled"
 
     # ------------------------------------------------------------------
     # elastic membership
@@ -497,6 +977,11 @@ class JobService:
                 "jobs": by_state,
                 "jobs_total": len(self.jobs),
                 "rejected": self._rejections,
+                "shed": self._shed,
+                "deadline_exceeded": self._deadline_exceeded,
+                "quarantine": {
+                    key: dict(info) for key, info in self._quarantine.items()
+                },
                 "running": sorted(self._running),
                 "queue_depth": len(self.queue),
                 "queue_by_tenant": self.queue.depth_by_tenant(),
@@ -508,6 +993,10 @@ class JobService:
             }
         if self.result_cache is not None:
             doc["result_cache"] = self.result_cache.stats()
+        if self.journal is not None:
+            doc["journal"] = self.journal.stats()
+        if self.watchdog is not None:
+            doc["watchdog"] = self.watchdog.state()
         doc["jobs_executed"] = self.cluster.jobs_executed
         return doc
 
@@ -545,6 +1034,12 @@ class JobService:
     def _worker_loop(self):
         while True:
             record = self.queue.pop(timeout=0.1)
+            with self._lock:
+                if self._state == "crashed":
+                    # The "process" died. Anything still queued — even a
+                    # record just popped — is abandoned in place; only
+                    # the journal carries it across the restart.
+                    return
             if record is None:
                 with self._lock:
                     if self._state in ("draining", "stopped") and len(self.queue) == 0:
@@ -563,6 +1058,8 @@ class JobService:
                 self._executing[record.job_id] = record
             try:
                 self._execute(record)
+            except ServiceCrashed:
+                return  # this worker thread died with the process
             finally:
                 with self._capacity:
                     self._reserved_bytes -= estimate
@@ -596,9 +1093,11 @@ class JobService:
     def _execute(self, record):
         request = record.request
         record.mark(JobState.RUNNING)
+        record.deadline_base = time.monotonic()
         self.telemetry.event(
             "serve.job_start", category="serve", job_id=record.job_id,
             tenant=request.tenant, algorithm=request.algorithm,
+            deadline_seconds=record.deadline_seconds,
         )
         dataset = self.datasets[request.dataset]
         last_error = None
@@ -606,15 +1105,47 @@ class JobService:
             record.attempts = attempt
             try:
                 self._run_once(record, dataset)
-                record.mark(JobState.SUCCEEDED)
+            except ServiceCrashed:
+                # The "process" died mid-run: no terminal mark, no WAL
+                # record — exactly the amnesia a real crash leaves.
+                # The checkpoints and the journal's `started` record
+                # survive for the restarted service to resume from.
+                raise
+            except DeadlineExceeded as error:
+                with self._lock:
+                    self._deadline_exceeded += 1
                 self.telemetry.event(
-                    "serve.complete", category="serve", job_id=record.job_id,
-                    tenant=request.tenant, cache_hit=False,
-                    attempts=attempt,
+                    "serve.deadline.exceeded", category="serve",
+                    job_id=record.job_id, tenant=request.tenant,
+                    budget_seconds=record.deadline_seconds,
+                    elapsed_seconds=error.elapsed_seconds,
                 )
                 self.telemetry.registry.counter(
-                    "serve.succeeded", tenant=request.tenant
+                    "serve.deadline_exceeded", tenant=request.tenant
                 ).inc()
+                self._finalize(record, JobState.FAILED, error=str(error),
+                               error_kind=ERROR_KIND_TIMEOUT)
+                return
+            except JobCancelled as error:
+                if getattr(error, "reason", "user") == "stuck":
+                    strikes = self._strike(record, error)
+                    if strikes < 2 and attempt < self.job_attempts:
+                        # One free retry: a wedged superstep may have
+                        # been bad luck (overloaded machine, noisy I/O),
+                        # not a property of the job.
+                        record.cancel_requested = None
+                        self.telemetry.event(
+                            "serve.retry", category="serve",
+                            job_id=record.job_id, attempt=attempt,
+                            kind="stuck",
+                        )
+                        continue
+                    self._finalize(record, JobState.FAILED,
+                                   error=str(error), error_kind="stuck")
+                    return
+                self._finalize(record, JobState.CANCELLED, error=str(error),
+                               error_kind="cancelled",
+                               reason=getattr(error, "reason", "user"))
                 return
             except Exception as error:  # one job's failure never kills the service
                 last_error = error
@@ -632,11 +1163,16 @@ class JobService:
                     "serve.retry", category="serve", job_id=record.job_id,
                     attempt=attempt,
                 )
-        record.error = str(last_error)
-        record.mark(JobState.FAILED)
-        self.telemetry.registry.counter(
-            "serve.failed", tenant=request.tenant
-        ).inc()
+                continue
+            self._finalize(record, JobState.SUCCEEDED)
+            self.telemetry.event(
+                "serve.complete", category="serve", job_id=record.job_id,
+                tenant=request.tenant, cache_hit=False,
+                attempts=attempt,
+            )
+            return
+        self._finalize(record, JobState.FAILED, error=str(last_error),
+                       error_kind=record.error_kind or "fatal")
 
     @staticmethod
     def _failure_kind(error):
@@ -657,34 +1193,126 @@ class JobService:
 
     def _run_once(self, record, dataset):
         request = record.request
-        job = self._build_job(request)
+        # A journaled plan signature (set on replay of an interrupted
+        # run) pins the physical plan, so the resumed run lands in the
+        # same bit-identity class as the original despite the restarted
+        # process's empty plan cache.
+        job = self._build_job(request, plan_signature=record.plan_signature)
+        if (
+            self.journal is not None
+            and self.checkpoint_interval
+            and not getattr(job, "checkpoint_interval", 0)
+        ):
+            # Resume needs checkpoints to land on.
+            job.checkpoint_interval = self.checkpoint_interval
+        record.plan_signature = self._plan_signature(job)
+        resume_from = record.resume_run_id
+        run_id = resume_from or "serve-%s-a%d" % (record.job_id, record.attempts)
+        self._journal_started(record, run_id)
+        self._crash_check("dispatch", job_id=record.job_id)
         driver = PregelixDriver(self.cluster, self.dfs)
         output_path = "/serve/jobs/%s/out" % record.job_id
         module, _params = SERVABLE_ALGORITHMS[request.algorithm]
         import importlib
 
         algorithm_module = importlib.import_module(module)
+        hook = self._boundary_hook_for(record)
+        crashed = False
         try:
-            outcome = driver.run(
-                job,
-                dataset.path,
-                output_path=output_path,
-                parse_line=getattr(algorithm_module, "parse_line", None),
-                format_record=getattr(algorithm_module, "format_record", None),
-            )
+            if resume_from:
+                outcome = driver.resume(
+                    job,
+                    dataset.path,
+                    run_id=run_id,
+                    output_path=output_path,
+                    parse_line=getattr(algorithm_module, "parse_line", None),
+                    format_record=getattr(algorithm_module, "format_record", None),
+                    boundary_hook=hook,
+                )
+                record.resume_run_id = None
+            else:
+                outcome = driver.run(
+                    job,
+                    dataset.path,
+                    output_path=output_path,
+                    parse_line=getattr(algorithm_module, "parse_line", None),
+                    format_record=getattr(algorithm_module, "format_record", None),
+                    run_id=run_id,
+                    boundary_hook=hook,
+                )
             record.run_id = outcome.run_id
             results = driver.read_output(output_path)
             record.result = result_document(
                 request.algorithm, job, outcome, results=results
             )
+            record.result_digest = result_digest(record.result)
+            record.cache_key = ResultCache.make_key(
+                dataset.digest, request.algorithm, request.params_key(),
+                plan_class(job),
+            )
+            self._crash_check("finishing", job_id=record.job_id)
             self._remember(request, dataset, job, record.result)
+        except ServiceCrashed:
+            crashed = True
+            raise
         finally:
             # The job's DFS scratch is not needed once the document is
             # built; the run's indexes/message files were cleaned by the
-            # driver already.
-            self.dfs.delete("/serve/jobs/%s" % record.job_id, recursive=True)
+            # driver already. A dead process, though, cleans nothing.
+            if not crashed:
+                self.dfs.delete("/serve/jobs/%s" % record.job_id, recursive=True)
 
-    def _build_job(self, request):
+    def _journal_started(self, record, run_id):
+        """WAL the dispatch (run id + resolved plan). A failed append
+        fails this attempt — running work the journal does not know
+        about would be invisible to a post-crash recovery."""
+        if self.journal is None:
+            return
+        self.journal.append(
+            RECORD_STARTED, record.job_id, run_id=run_id,
+            plan=record.plan_signature, attempt=record.attempts,
+        )
+
+    def _boundary_hook_for(self, record):
+        """The cooperative control point, run at every superstep boundary.
+
+        Order matters: progress first (the watchdog must see the
+        boundary), then crash simulation (no cleanup — checkpoints must
+        survive), then cancellation, then the deadline.
+        """
+
+        def hook(superstep):
+            record.note_boundary()
+            with self._lock:
+                crashed = self._state == "crashed"
+            if crashed:
+                # Another thread's fault killed the "process"; every
+                # running job stops at its next boundary, uncleaned.
+                raise ServiceCrashed("running")
+            self._crash_check(
+                "running", job_id=record.job_id, superstep=superstep,
+            )
+            reason = record.cancel_requested
+            if reason:
+                raise JobCancelled(
+                    "job %s cancelled (%s) at superstep %d"
+                    % (record.job_id, reason, superstep),
+                    reason=reason,
+                )
+            budget = record.deadline_seconds
+            if budget is not None and record.deadline_base is not None:
+                elapsed = time.monotonic() - record.deadline_base
+                if elapsed > budget:
+                    raise DeadlineExceeded(
+                        "job %s exceeded its %.3fs deadline at superstep %d "
+                        "(%.3fs elapsed)"
+                        % (record.job_id, budget, superstep, elapsed),
+                        budget_seconds=budget, elapsed_seconds=elapsed,
+                    )
+
+        return hook
+
+    def _build_job(self, request, plan_signature=None):
         import importlib
 
         module_name, param_names = SERVABLE_ALGORITHMS[request.algorithm]
@@ -705,6 +1333,11 @@ class JobService:
             job.max_supersteps = int(request.max_supersteps)
         if request.plan is not None:
             self._parse_plan(request.plan).apply(job)
+        elif plan_signature is not None:
+            # A journaled plan pin (resume) outranks the optimizer and
+            # the plan cache: the resumed run must land in the plan the
+            # interrupted run already committed checkpoints under.
+            self._parse_plan(plan_signature).apply(job)
         elif request.optimize:
             job.auto_optimize = True
         else:
@@ -717,6 +1350,16 @@ class JobService:
         from repro.chaos.differential import PlanChoice
 
         return PlanChoice.parse(signature)
+
+    @staticmethod
+    def _plan_signature(job):
+        """The job's resolved plan as a short, parseable signature."""
+        from repro.chaos.differential import PlanChoice
+
+        return PlanChoice(
+            job.join_strategy, job.groupby_strategy,
+            job.connector_policy, job.vertex_storage,
+        ).signature()
 
     # ------------------------------------------------------------------
     # caching

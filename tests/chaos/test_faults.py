@@ -44,6 +44,7 @@ class TestFaultSpec:
         layers = {site.split(".")[0] for site in FAULT_SITES}
         assert layers == {
             "superstep", "operator", "page", "checkpoint", "dfs", "rebalance",
+            "journal", "service",
         }
         assert set(FAULT_ACTIONS) == {
             "interruption",

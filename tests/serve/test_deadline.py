@@ -1,0 +1,144 @@
+"""Per-job wall-clock deadlines, enforced at superstep boundaries."""
+
+import time
+
+import pytest
+
+from repro.common.errors import DeadlineExceeded
+from repro.serve import JobService, JobState
+from repro.serve.api import ERROR_KIND_TIMEOUT, JobRecord, JobRequest
+
+WAIT = 120
+
+# Enough supersteps that a tiny budget always trips mid-run.
+SLOW = {"tenant": "alice", "algorithm": "pagerank", "dataset": "g",
+        "params": {"iterations": 60}, "use_cache": False}
+
+
+@pytest.fixture
+def service(serve_graph):
+    svc = JobService(num_nodes=3, workers=1)
+    svc.add_dataset("g", vertices=serve_graph)
+    svc.start()
+    yield svc
+    svc.shutdown(timeout=WAIT)
+
+
+class TestDeadlineEnforcement:
+    def test_exceeded_deadline_fails_with_structured_timeout(self, service):
+        record = service.submit(dict(SLOW, deadline_seconds=0.02))
+        assert record.wait(WAIT) is JobState.FAILED
+        assert record.error_kind == ERROR_KIND_TIMEOUT
+        assert record.deadline_seconds == 0.02
+        assert "deadline" in record.error
+        assert record.attempts == 1  # a timeout is never retried
+        assert service.stats()["deadline_exceeded"] == 1
+
+    def test_timed_out_job_frees_its_worker_slot(self, service):
+        # workers=1: if the deadline did not release the slot, the
+        # follow-up job could never run.
+        doomed = service.submit(dict(SLOW, deadline_seconds=0.02))
+        follow_up = service.submit({
+            "tenant": "alice", "algorithm": "cc", "dataset": "g",
+            "use_cache": False,
+        })
+        assert doomed.wait(WAIT) is JobState.FAILED
+        assert follow_up.wait(WAIT) is JobState.SUCCEEDED
+
+    def test_generous_deadline_does_not_fire(self, service):
+        record = service.submit({
+            "tenant": "alice", "algorithm": "cc", "dataset": "g",
+            "use_cache": False, "deadline_seconds": WAIT,
+        })
+        assert record.wait(WAIT) is JobState.SUCCEEDED
+        assert service.stats()["deadline_exceeded"] == 0
+
+
+class TestDeadlineDefaults:
+    def test_service_default_applies_when_request_is_silent(self, serve_graph):
+        svc = JobService(num_nodes=3, workers=1,
+                         default_deadline_seconds=0.02)
+        svc.add_dataset("g", vertices=serve_graph)
+        svc.start()
+        try:
+            record = svc.submit(dict(SLOW))
+            assert record.deadline_seconds == 0.02
+            assert record.wait(WAIT) is JobState.FAILED
+            assert record.error_kind == ERROR_KIND_TIMEOUT
+        finally:
+            svc.shutdown(timeout=WAIT)
+
+    def test_request_deadline_overrides_service_default(self, serve_graph):
+        svc = JobService(num_nodes=3, workers=1,
+                         default_deadline_seconds=0.001)
+        svc.add_dataset("g", vertices=serve_graph)
+        svc.start()
+        try:
+            record = svc.submit({
+                "tenant": "alice", "algorithm": "cc", "dataset": "g",
+                "use_cache": False, "deadline_seconds": WAIT,
+            })
+            assert record.deadline_seconds == WAIT
+            assert record.wait(WAIT) is JobState.SUCCEEDED
+        finally:
+            svc.shutdown(timeout=WAIT)
+
+    def test_no_deadline_anywhere_means_none(self, service):
+        record = service.submit({
+            "tenant": "alice", "algorithm": "cc", "dataset": "g",
+        })
+        assert record.deadline_seconds is None
+
+
+class TestDeadlineValidation:
+    @pytest.mark.parametrize("bad", [0, -1, "soon"])
+    def test_bad_deadline_rejected_at_parse(self, bad):
+        with pytest.raises(ValueError):
+            JobRequest.from_dict({
+                "tenant": "a", "algorithm": "cc", "dataset": "g",
+                "deadline_seconds": bad,
+            })
+
+    def test_string_number_is_coerced(self):
+        request = JobRequest.from_dict({
+            "tenant": "a", "algorithm": "cc", "dataset": "g",
+            "deadline_seconds": "2.5",
+        })
+        assert request.deadline_seconds == 2.5
+
+
+class TestBoundaryHook:
+    """The hook itself, deterministically — no timing races."""
+
+    def record(self, **kwargs):
+        request = JobRequest("t", "pagerank", "g")
+        record = JobRecord(job_id="job-000001", request=request)
+        for key, value in kwargs.items():
+            setattr(record, key, value)
+        return record
+
+    def test_hook_raises_past_budget(self, service):
+        record = self.record(deadline_seconds=0.01,
+                             deadline_base=time.monotonic() - 1.0)
+        hook = service._boundary_hook_for(record)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            hook(3)
+        assert excinfo.value.budget_seconds == 0.01
+        assert excinfo.value.elapsed_seconds >= 1.0
+
+    def test_hook_quiet_within_budget(self, service):
+        record = self.record(deadline_seconds=60.0,
+                             deadline_base=time.monotonic())
+        service._boundary_hook_for(record)(1)  # does not raise
+
+    def test_hook_quiet_with_no_deadline(self, service):
+        record = self.record(deadline_base=time.monotonic() - 100.0)
+        service._boundary_hook_for(record)(1)  # does not raise
+
+    def test_hook_counts_progress_for_the_watchdog(self, service):
+        record = self.record()
+        hook = service._boundary_hook_for(record)
+        hook(1)
+        hook(2)
+        assert record.progress_superstep == 2
+        assert record.progress_boundary_at is not None

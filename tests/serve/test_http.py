@@ -1,12 +1,14 @@
 """The stdlib HTTP front end: real sockets, real status codes."""
 
 import json
+import threading
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.serve import JobService, ServeHTTPServer, TenantQuota
+from repro.serve import JobService, JobState, ServeHTTPServer, TenantQuota
 
 WAIT = 120
 
@@ -169,3 +171,163 @@ class TestEndpoints:
         )
         assert status == 200
         assert result["cache_hit"] is True
+
+
+class TestCancelRace:
+    """A cancel racing a completion answers deterministically."""
+
+    def test_cancel_queued_job_is_200(self, served):
+        service, base = served
+        release = threading.Event()
+        original = service._run_once
+        service._run_once = lambda record, dataset: release.wait(WAIT)
+        try:
+            # Two blocked jobs fill both workers; the third stays queued.
+            blockers = [
+                service.submit({"tenant": "alice", "algorithm": "cc",
+                                "dataset": "g", "use_cache": False,
+                                "params": {}})
+                for _ in range(2)
+            ]
+            deadline = time.monotonic() + WAIT
+            while (
+                any(r.state is not JobState.RUNNING for r in blockers)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            _status, queued, _ = http(
+                base, "POST", "/jobs",
+                body={"tenant": "alice", "algorithm": "pagerank",
+                      "dataset": "g", "use_cache": False},
+            )
+            status, outcome, _ = http(
+                base, "POST", "/jobs/%s/cancel" % queued["job_id"]
+            )
+            assert status == 200
+            assert outcome["status"] == "cancelled"
+            assert outcome["cancelled"] is True
+        finally:
+            release.set()
+            service._run_once = original
+        for record in blockers:
+            record.wait(WAIT)
+
+    def test_cancel_running_job_is_202_cancelling(self, served):
+        service, base = served
+        release = threading.Event()
+        original = service._run_once
+        service._run_once = lambda record, dataset: release.wait(WAIT)
+        try:
+            record = service.submit({"tenant": "alice", "algorithm": "cc",
+                                     "dataset": "g", "use_cache": False})
+            deadline = time.monotonic() + WAIT
+            while (record.state is not JobState.RUNNING
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            status, outcome, _ = http(
+                base, "POST", "/jobs/%s/cancel" % record.job_id
+            )
+            assert status == 202
+            assert outcome["status"] == "cancelling"
+            assert outcome["state"] == "running"
+            assert outcome["cancelled"] is False
+        finally:
+            release.set()
+            service._run_once = original
+        record.wait(WAIT)
+
+    def test_cancel_after_completion_is_409_with_the_winner(self, served):
+        service, base = served
+        _status, record, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "cc", "dataset": "g"},
+        )
+        assert service.get(record["job_id"]).wait(WAIT) is JobState.SUCCEEDED
+        status, outcome, _ = http(
+            base, "POST", "/jobs/%s/cancel" % record["job_id"]
+        )
+        assert status == 409
+        assert outcome["status"] == "terminal"
+        assert outcome["state"] == "succeeded"
+        assert outcome["cancelled"] is False
+        # The job's record is untouched by the losing cancel.
+        assert service.get(record["job_id"]).state is JobState.SUCCEEDED
+
+    def test_cancel_unknown_job_is_404(self, served):
+        _service, base = served
+        status, doc, _ = http(base, "POST", "/jobs/job-999999/cancel")
+        assert status == 404
+        assert doc["error"]["code"] == "not_found"
+
+
+class TestOverloadAndQuarantine:
+    def test_shedding_is_503_with_retry_after(self, serve_graph):
+        service = JobService(num_nodes=2, workers=1, shed_queue_depth=0)
+        service.add_dataset("g", vertices=serve_graph)
+        service.start()
+        server = ServeHTTPServer(service, port=0)
+        host, port = server.start()
+        try:
+            status, doc, headers = http(
+                "http://%s:%d" % (host, port), "POST", "/jobs",
+                body={"tenant": "alice", "algorithm": "cc", "dataset": "g"},
+            )
+            assert status == 503
+            assert doc["error"]["code"] == "overloaded"
+            assert headers["Retry-After"] == "1"
+            assert service.stats()["shed"] == 1
+        finally:
+            server.close()
+            service.shutdown(timeout=WAIT)
+
+    def test_quarantined_request_is_403(self, served):
+        service, base = served
+        request = {"tenant": "alice", "algorithm": "cc", "dataset": "g"}
+        from repro.serve import JobRequest
+
+        key = JobRequest.from_dict(request).poison_key()
+        with service._lock:
+            service._quarantine[key] = {
+                "algorithm": "cc", "dataset": "g", "params_key": "{}",
+                "strikes": 2, "last_error": "wedged",
+                "job_id": "job-000001",
+            }
+        status, doc, _ = http(base, "POST", "/jobs", body=request)
+        assert status == 403
+        assert doc["error"]["code"] == "quarantined"
+        assert doc["error"]["details"]["strikes"] == 2
+        service.clear_quarantine(key)
+        status, _doc, _ = http(base, "POST", "/jobs", body=request)
+        assert status == 202
+
+
+class TestDeadlineOverHTTP:
+    def test_timed_out_result_is_410_with_retry_after(self, served):
+        service, base = served
+        status, record, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "pagerank", "dataset": "g",
+                  "params": {"iterations": 60}, "use_cache": False,
+                  "deadline_seconds": 0.02},
+        )
+        assert status == 202
+        assert record["deadline_seconds"] == 0.02
+        job_id = record["job_id"]
+        assert service.get(job_id).wait(WAIT) is JobState.FAILED
+        status, doc, headers = http(base, "GET", "/jobs/%s/result" % job_id)
+        assert status == 410
+        assert doc["error"]["details"]["error_kind"] == "timeout"
+        assert headers["Retry-After"] == "1"
+        status, record, _ = http(base, "GET", "/jobs/%s" % job_id)
+        assert record["state"] == "failed"
+        assert record["error_kind"] == "timeout"
+
+    def test_bad_deadline_is_400(self, served):
+        _service, base = served
+        status, doc, _ = http(
+            base, "POST", "/jobs",
+            body={"tenant": "alice", "algorithm": "cc", "dataset": "g",
+                  "deadline_seconds": -3},
+        )
+        assert status == 400
+        assert "deadline_seconds" in doc["error"]["reason"]

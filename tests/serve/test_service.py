@@ -266,3 +266,122 @@ class TestRequestValidation:
         c = JobRequest("t", "pagerank", "g", params={"a": 1, "b": 2},
                        max_supersteps=4)
         assert a.params_key() != c.params_key()
+
+
+class TestOverloadShedding:
+    def test_queue_depth_threshold_sheds_with_retry_hint(self, serve_graph):
+        svc = JobService(num_nodes=2, workers=1, shed_queue_depth=0)
+        svc.add_dataset("g", vertices=serve_graph)
+        svc.start()
+        try:
+            with pytest.raises(AdmissionRejected) as excinfo:
+                submit(svc, "cc")
+            rejection = excinfo.value.rejection
+            assert rejection.code == "overloaded"
+            assert rejection.details["retry_after_seconds"] == 1
+            assert rejection.details["queue_depth"] == 0
+            assert svc.stats()["shed"] == 1
+            # Shedding happens before validation: even garbage is shed
+            # cheaply instead of building a throwaway job.
+            with pytest.raises(AdmissionRejected) as excinfo:
+                submit(svc, "quicksort")
+            assert excinfo.value.rejection.code == "overloaded"
+            assert svc.stats()["shed"] == 2
+        finally:
+            svc.shutdown(timeout=WAIT)
+
+    def test_journal_append_latency_sheds(self, serve_graph, tmp_path):
+        svc = JobService(num_nodes=2, workers=1,
+                         journal="file:%s" % tmp_path,
+                         shed_append_seconds=0.0)
+        svc.add_dataset("g", vertices=serve_graph)
+        svc.start()
+        try:
+            # The first submission is admitted (no appends yet, so the
+            # rolling average is 0.0); its WAL write moves the average
+            # above the zero threshold and the next submission sheds.
+            first = submit(svc, "cc", use_cache=False)
+            assert first.wait(WAIT) is JobState.SUCCEEDED
+            with pytest.raises(AdmissionRejected) as excinfo:
+                submit(svc, "cc", use_cache=False)
+            rejection = excinfo.value.rejection
+            assert rejection.code == "overloaded"
+            assert rejection.details["retry_after_seconds"] == 2
+            assert rejection.details["avg_append_seconds"] > 0.0
+        finally:
+            svc.shutdown(timeout=WAIT)
+
+
+class TestCancelStatusDocument:
+    def test_not_found(self, service):
+        outcome = service.cancel_job("job-999999")
+        assert outcome == {"job_id": "job-999999", "status": "not_found",
+                           "cancelled": False}
+
+    def test_terminal_reports_the_winner(self, service):
+        record = submit(service, "cc")
+        assert record.wait(WAIT) is JobState.SUCCEEDED
+        outcome = service.cancel_job(record.job_id)
+        assert outcome["status"] == "terminal"
+        assert outcome["state"] == "succeeded"
+        assert outcome["cancelled"] is False
+        assert record.state is JobState.SUCCEEDED
+
+    def test_queued_cancel_is_terminal_and_journals_nothing_twice(
+        self, service
+    ):
+        release = threading.Event()
+        original = service._run_once
+        service._run_once = lambda record, dataset: release.wait(WAIT)
+        try:
+            blockers = [submit(service, "cc", use_cache=False)
+                        for _ in range(2)]
+            deadline = time.monotonic() + WAIT
+            while (
+                any(r.state is not JobState.RUNNING for r in blockers)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            queued = submit(service, "pagerank", use_cache=False)
+            outcome = service.cancel_job(queued.job_id, reason="operator")
+            assert outcome["status"] == "cancelled"
+            assert outcome["cancelled"] is True
+            assert queued.state is JobState.CANCELLED
+            assert queued.error_kind == "cancelled"
+            # The losing repeat observes the terminal state.
+            assert service.cancel_job(queued.job_id)["status"] == "terminal"
+        finally:
+            release.set()
+            service._run_once = original
+        for record in blockers:
+            record.wait(WAIT)
+
+
+class TestStatsSurfaces:
+    def test_journal_watchdog_and_quarantine_sections(
+        self, serve_graph, tmp_path
+    ):
+        svc = JobService(num_nodes=2, workers=1,
+                         journal="file:%s" % tmp_path)
+        svc.add_dataset("g", vertices=serve_graph)
+        svc.start()
+        try:
+            record = submit(svc, "cc", use_cache=False)
+            assert record.wait(WAIT) is JobState.SUCCEEDED
+            # The finished append lands just after the terminal mark;
+            # drain synchronizes with the worker before reading stats.
+            assert svc.drain(timeout=WAIT) is True
+            stats = svc.stats()
+            assert stats["journal"]["records_appended"] == 3
+            assert stats["journal"]["frozen"] is False
+            assert stats["journal"]["location"].startswith("file:")
+            assert stats["watchdog"]["running"] is True
+            assert stats["quarantine"] == {}
+            assert stats["deadline_exceeded"] == 0
+            assert stats["shed"] == 0
+        finally:
+            svc.shutdown(timeout=WAIT)
+
+    def test_watchdog_disabled_leaves_no_section(self, service):
+        assert "watchdog" in service.stats()  # default service has one
+        assert "journal" not in service.stats()  # but no journal

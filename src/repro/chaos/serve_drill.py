@@ -42,7 +42,29 @@ _REQUEST = {
     "params": {"iterations": 6},
 }
 
+#: Mid-batch crash drill points: ``dispatch`` dies after the members'
+#: ``started`` records land but before the shared run begins, ``running``
+#: dies at the first shared superstep boundary, and ``finishing`` dies
+#: between the first and second member's fan-out finalize — the
+#: half-batch shape recovery must untangle.
+BATCH_CRASH_PHASES = (
+    ("dispatch", 1),
+    ("running", 1),
+    ("finishing", 2),
+)
+
+_BATCH_SOURCES = (0, 7, 13)
+
 _WAIT_SECONDS = 120
+
+
+def _batch_request(source):
+    return {
+        "tenant": "chaos",
+        "algorithm": "sssp",
+        "dataset": "g",
+        "params": {"source_id": source},
+    }
 
 
 def run_serve_drill(num_vertices=48, num_nodes=3, graph_seed=11, out=print,
@@ -72,13 +94,21 @@ def run_serve_drill(num_vertices=48, num_nodes=3, graph_seed=11, out=print,
            _damage_scenario(vertices, num_nodes, baseline, "torn_write"))
     report("journal.append/corrupt",
            _damage_scenario(vertices, num_nodes, baseline, "corrupt"))
-    scenarios = len(CRASH_PHASES) + 3
+    batch_baselines = _batch_baselines(vertices, num_nodes)
+    for phase, at_hit in BATCH_CRASH_PHASES:
+        label = "batch/service.crash@%s#%d" % (phase, at_hit)
+        report(label, _batch_crash_scenario(vertices, num_nodes,
+                                            batch_baselines, phase, at_hit))
+    report("batch/journal.append/torn_write",
+           _batch_torn_fanout_scenario(vertices, num_nodes, batch_baselines))
+    scenarios = len(CRASH_PHASES) + 3 + len(BATCH_CRASH_PHASES) + 1
     if failures:
         out("chaos serve: FAIL (%d/%d scenarios: %s)"
             % (len(failures), scenarios, ", ".join(failures)))
     else:
         out("chaos serve: OK (%d scenarios, crash at every lifecycle "
-            "phase + journal transient/torn/corrupt)" % scenarios)
+            "phase + journal transient/torn/corrupt + mid-batch crash "
+            "and torn fan-out)" % scenarios)
     return failures
 
 
@@ -215,6 +245,183 @@ def _damage_scenario(vertices, num_nodes, baseline, action):
 
 
 # ----------------------------------------------------------------------
+# batched-dispatch scenarios (DESIGN.md §17)
+# ----------------------------------------------------------------------
+def _batch_baselines(vertices, num_nodes):
+    """Unbatched per-source digests every batch recovery must reproduce."""
+    digests = {}
+    with _Harness(vertices, num_nodes) as harness:
+        service = harness.service()
+        service.start()
+        for source in _BATCH_SOURCES:
+            record = service.submit(_batch_request(source))
+            state = record.wait(timeout=_WAIT_SECONDS)
+            if state is None or state.value != "succeeded":
+                raise ReproError(
+                    "serve drill batch baseline failed (source %d, state %s)"
+                    % (source, state)
+                )
+            digests[source] = record.result_digest
+        service.shutdown(drain=True, timeout=_WAIT_SECONDS)
+    return digests
+
+
+def _submit_batch(service):
+    """Submit the drill's batch members; returns their records."""
+    records = []
+    for source in _BATCH_SOURCES:
+        records.append(service.submit(_batch_request(source)))
+    return records
+
+
+def _batch_service(harness):
+    return harness.service(batch_max=len(_BATCH_SOURCES) + 1,
+                           batch_window=0.4)
+
+
+def _batch_crash_scenario(vertices, num_nodes, baselines, phase, at_hit):
+    """Crash mid-batch; every member must recover individually.
+
+    The invariant: after restart each member job is either already
+    terminal with its solo digest, or individually re-queued for a
+    fresh solo run — never resumed into a batch that no longer exists,
+    never lost with it.
+    """
+    from repro.serve import ServiceCrashed
+
+    problems = []
+    plan = FaultPlan([
+        FaultSpec(site="service.crash", action="io", node=phase,
+                  at_hit=at_hit, min_superstep=0),
+    ])
+    with _Harness(vertices, num_nodes) as harness:
+        injector = FaultInjector(plan).attach(harness.cluster, dfs=harness.dfs)
+        first = _batch_service(harness)
+        first.start()
+        try:
+            _submit_batch(first)
+        except ServiceCrashed:
+            problems.append("crash fired before the batch dispatched")
+            first.shutdown(drain=False)
+            return problems
+        if not _wait_for(lambda: first._state == "crashed"):
+            problems.append("crash never fired at phase %r" % phase)
+            first.shutdown(drain=False)
+            return problems
+        injector.disarm(reason="process dead")
+
+        second = _batch_service(harness)
+        summary = second.recover()
+        if summary["jobs"] != len(_BATCH_SOURCES):
+            problems.append(
+                "replay saw %d jobs, wanted %d"
+                % (summary["jobs"], len(_BATCH_SOURCES))
+            )
+        if summary["resumed"] != 0:
+            problems.append(
+                "a batch member resumed a wrapped checkpoint: %s" % summary
+            )
+        accounted = summary["finished"] + summary["requeued"]
+        if accounted != len(_BATCH_SOURCES):
+            problems.append(
+                "half-batch after replay: %d of %d members accounted (%s)"
+                % (accounted, len(_BATCH_SOURCES), summary)
+            )
+        for record in second.jobs.values():
+            if record.state.value == "queued" and not getattr(
+                record, "no_batch", False
+            ):
+                problems.append(
+                    "requeued member %s may re-batch into a dead run"
+                    % record.job_id
+                )
+        second.start()
+        problems.extend(_drain_and_compare_batch(second, baselines))
+    return problems
+
+
+def _batch_torn_fanout_scenario(vertices, num_nodes, baselines):
+    """Tear the journal during batch fan-out, then 'crash' and restart.
+
+    Appends for a 3-member batch land as submitted x3, started x3,
+    finished x3; tearing the last ``finished`` (hit 9) means one member
+    loses its terminal record mid-fan-out. Replay must truncate exactly
+    the torn tail, keep the two finished members terminal, and re-queue
+    the torn one for a solo run with the same digest.
+    """
+    problems = []
+    appends = 3 * len(_BATCH_SOURCES)
+    plan = FaultPlan([
+        FaultSpec(site="journal.append", action="torn_write",
+                  at_hit=appends, min_superstep=0),
+    ])
+    with _Harness(vertices, num_nodes) as harness:
+        injector = FaultInjector(plan).attach(harness.cluster, dfs=harness.dfs)
+        first = _batch_service(harness)
+        first.start()
+        records = _submit_batch(first)
+        for record in records:
+            state = record.wait(timeout=_WAIT_SECONDS)
+            if state is None or state.value != "succeeded":
+                problems.append(
+                    "pre-damage batch member ended %s (%s)"
+                    % (state, record.error)
+                )
+        first.shutdown(drain=True, timeout=_WAIT_SECONDS)
+        if problems:
+            return problems
+        if first.stats()["batch"]["formed"] < 1:
+            problems.append("batch never formed before the torn write")
+        if len(injector.fired) != 1:
+            problems.append("torn_write never fired during fan-out")
+        injector.disarm(reason="process dead")
+
+        second = _batch_service(harness)
+        summary = second.recover()
+        if summary["torn_bytes"] <= 0:
+            problems.append("replay repaired no torn tail")
+        if summary["finished"] != len(_BATCH_SOURCES) - 1:
+            problems.append(
+                "expected %d members terminal after the torn fan-out, "
+                "got %s" % (len(_BATCH_SOURCES) - 1, summary)
+            )
+        if summary["requeued"] != 1 or summary["resumed"] != 0:
+            problems.append(
+                "torn member must re-queue for a fresh solo run: %s" % summary
+            )
+        second.start()
+        problems.extend(_drain_and_compare_batch(second, baselines))
+    return problems
+
+
+def _drain_and_compare_batch(service, baselines):
+    """Wait for every member job; digests must match per-source solo."""
+    problems = []
+    records = list(service.jobs.values())
+    if len(records) != len(_BATCH_SOURCES):
+        problems.append(
+            "recovery produced %d job records, wanted %d"
+            % (len(records), len(_BATCH_SOURCES))
+        )
+    for record in records:
+        source = record.request.params.get("source_id")
+        state = record.wait(timeout=_WAIT_SECONDS)
+        if state is None or state.value != "succeeded":
+            problems.append(
+                "member %s (source %s) ended %s (%s)"
+                % (record.job_id, source, state, record.error)
+            )
+        elif record.result_digest != baselines.get(source):
+            problems.append(
+                "member %s (source %s) digest %s != solo %s"
+                % (record.job_id, source, record.result_digest,
+                   baselines.get(source))
+            )
+    service.shutdown(drain=True, timeout=_WAIT_SECONDS)
+    return problems
+
+
+# ----------------------------------------------------------------------
 # plumbing
 # ----------------------------------------------------------------------
 class _Harness:
@@ -236,15 +443,17 @@ class _Harness:
         self.cluster.close()
         return False
 
-    def service(self):
+    def service(self, **overrides):
         """A fresh JobService over the shared cluster/DFS/journal —
         construction models one process start."""
         from repro.serve import JobService
 
-        service = JobService(
+        kwargs = dict(
             cluster=self.cluster, dfs=self.dfs, workers=1,
             journal=self.journal, checkpoint_interval=1, watchdog=False,
         )
+        kwargs.update(overrides)
+        service = JobService(**kwargs)
         service.add_dataset("g", vertices=list(self.vertices))
         return service
 

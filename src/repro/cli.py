@@ -191,6 +191,16 @@ def build_parser():
     )
     serve.add_argument("--result-cache", type=int, default=64,
                        help="result-cache entries (0 disables)")
+    serve.add_argument(
+        "--batch-max", type=int, default=1, metavar="N",
+        help="coalesce up to N compatible queued point queries into one "
+             "shared multi-query run (DESIGN.md §17; 1 disables batching)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.25, metavar="S",
+        help="seconds a batch leader waits for compatible queued jobs "
+             "before dispatching (only with --batch-max > 1)",
+    )
     serve.add_argument("--autoscale", default=None, metavar="MIN:MAX",
                        help="autoscale the resident cluster between MIN and "
                             "MAX nodes (scale up on queue backlog, drain "
@@ -355,6 +365,11 @@ def build_parser():
     bench.add_argument("--max-overhead", type=float, default=None,
                        help="elastic gate: rebalance cost cap as a multiple "
                             "of one average superstep")
+    bench.add_argument("--batch", action="store_true",
+                       help="measure multi-query batching instead: 8 sssp "
+                            "point queries solo vs one shared run, with a "
+                            "per-lane bit-identity check (writes "
+                            "BENCH_batch.json)")
 
     sub.add_parser("loc", help="the Section 7.6 lines-of-code comparison")
     return parser
@@ -707,6 +722,8 @@ def cmd_serve(args, out=print):
         default_deadline_seconds=args.default_deadline,
         shed_queue_depth=args.shed_queue_depth,
         shed_append_seconds=args.shed_append_seconds,
+        batch_max=args.batch_max,
+        batch_window=args.batch_window,
     )
     for name, directory in datasets:
         dataset = service.add_dataset(name, local_dir=directory)
@@ -1370,6 +1387,8 @@ def cmd_checkpoints(args, out=print):
 def cmd_bench(args, out=print):
     if args.elastic:
         return _bench_elastic(args, out=out)
+    if args.batch:
+        return _bench_batch(args, out=out)
 
     from repro.bench import regression
 
@@ -1416,6 +1435,31 @@ def _bench_elastic(args, out=print):
     path = args.out if args.out != "BENCH_parallel.json" else "BENCH_elastic.json"
     elastic.write_report(report, path)
     for line in elastic.summary_lines(report):
+        out(line)
+    out("report written to %s" % path)
+    return 0 if report["pass"] else 1
+
+
+def _bench_batch(args, out=print):
+    from repro.bench import batch
+
+    overrides = {}
+    if args.vertices is not None:
+        overrides["vertices"] = args.vertices
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.parallel is not None:
+        overrides["workers"] = tuple(args.parallel)
+    if args.io_latency is not None:
+        overrides["io_latency_scale"] = args.io_latency
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.min_speedup is not None:
+        overrides["min_speedup"] = args.min_speedup
+    report = batch.run_batch_bench(**overrides)
+    path = args.out if args.out != "BENCH_parallel.json" else "BENCH_batch.json"
+    batch.write_report(report, path)
+    for line in batch.summary_lines(report):
         out(line)
     out("report written to %s" % path)
     return 0 if report["pass"] else 1

@@ -114,7 +114,10 @@ class PregelixDriver:
             the cooperative enforcement point for deadlines, cancels,
             and crash drills. Exceptions it raises that are not part of
             the recoverable set unwind the run without checkpoint
-            recovery absorbing them.
+            recovery absorbing them. A hook carrying a truthy
+            ``wants_gs`` attribute is called ``hook(superstep, gs)``
+            instead, so observers (e.g. multi-query lane tracking) can
+            read the superstep's global aggregate without a DFS race.
         """
         parse_line, format_record = _default_formats(parse_line, format_record)
         if run_id is None:
@@ -427,7 +430,10 @@ class PregelixDriver:
                     # killed at its own final boundary. Anything the
                     # hook raises outside the recoverable set below
                     # unwinds the run instead of re-entering recovery.
-                    boundary_hook(gs.superstep)
+                    if getattr(boundary_hook, "wants_gs", False):
+                        boundary_hook(gs.superstep, gs)
+                    else:
+                        boundary_hook(gs.superstep)
                 generator, checkpointer = self._maybe_rebalance(
                     job, generator, checkpointer, gs, retry, retain, injector, stats
                 )

@@ -23,9 +23,9 @@ SERVABLE_ALGORITHMS = {
     "pagerank": ("repro.algorithms.pagerank", ("iterations",)),
     "sssp": ("repro.algorithms.sssp", ("source_id",)),
     "cc": ("repro.algorithms.connected_components", ()),
-    "reachability": ("repro.algorithms.reachability", ()),
+    "reachability": ("repro.algorithms.reachability", ("sources",)),
     "triangles": ("repro.algorithms.triangle_counting", ()),
-    "bfs-tree": ("repro.algorithms.bfs_spanning_tree", ()),
+    "bfs-tree": ("repro.algorithms.bfs_spanning_tree", ("root",)),
     "scc": ("repro.algorithms.scc", ()),
     "list-ranking": ("repro.algorithms.list_ranking", ()),
 }

@@ -104,16 +104,26 @@ class Autoscaler:
                 pass
 
     # ------------------------------------------------------------------
-    def tick(self):
-        """One scaling decision; returns ``("up"|"down", node_id)`` or None."""
+    def tick(self, backlog=None, executing=None):
+        """One scaling decision; returns ``("up"|"down", node_id)`` or None.
+
+        ``backlog`` and ``executing`` default to the live queue depth and
+        executing-job count. Tests inject explicit observations instead
+        (the same pattern as ``Watchdog.scan(now=...)``): the live reads
+        race the worker threads, so a manually-ticked schedule is only
+        deterministic when the tick is told what it observed.
+        """
         service = self.service
         cluster = service.cluster
         # Liveness sweep + retirement sweep ride along on every tick.
         service.heartbeats.observe()
         cluster.reap_draining_nodes()
-        with service._lock:
-            backlog = len(service.queue)
-            executing = len(service._executing)
+        if backlog is None or executing is None:
+            with service._lock:
+                if backlog is None:
+                    backlog = len(service.queue)
+                if executing is None:
+                    executing = len(service._executing)
         with self._lock:
             if self._cooldown > 0:
                 self._cooldown -= 1

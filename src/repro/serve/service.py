@@ -46,8 +46,10 @@ from repro.pregelix.failure import (
     failure_cause,
     is_transient,
 )
+from repro.pregelix.multiquery import MultiQueryProgram
 from repro.pregelix.runtime import PregelixDriver
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
+from repro.serve.batching import BatchFormer
 from repro.serve.admission import (
     ADMIT,
     REJECT,
@@ -139,6 +141,12 @@ class JobService:
     :param watchdog: ``False`` disables the stuck-job watchdog;
         ``None``/``True`` runs it with defaults; a
         :class:`~repro.serve.watchdog.StuckJobWatchdog` is used as-is.
+    :param batch_max: coalesce up to this many compatible queued point
+        queries (same dataset × algorithm × plan bit-identity class ×
+        limits) into one multi-query dataflow run (DESIGN.md §17); 1
+        disables batching.
+    :param batch_window: seconds of queue time a batchable leader waits
+        for companions before dispatching.
     """
 
     def __init__(
@@ -163,6 +171,8 @@ class JobService:
         shed_queue_depth=None,
         shed_append_seconds=None,
         watchdog=None,
+        batch_max=1,
+        batch_window=0.25,
     ):
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if cluster is None:
@@ -242,6 +252,11 @@ class JobService:
                 watchdog
                 if isinstance(watchdog, StuckJobWatchdog)
                 else StuckJobWatchdog(self)
+            )
+        self.batcher = None
+        if batch_max is not None and int(batch_max) > 1:
+            self.batcher = BatchFormer(
+                self, batch_max=batch_max, batch_window=batch_window
             )
 
     # ------------------------------------------------------------------
@@ -461,9 +476,22 @@ class JobService:
                 summary["cancelled"] += 1
             else:
                 if started is not None:
-                    record.resume_run_id = started.get("run_id")
-                    record.plan_signature = started.get("plan")
-                    summary["resumed"] += 1
+                    if started.get("batch"):
+                        # A batched run's checkpoints hold wrapped
+                        # multi-lane state, so a member interrupted
+                        # mid-batch is never resumed — it re-runs solo
+                        # under the journaled plan pin, landing in the
+                        # same bit-identity class (hence same digest).
+                        # This is the "never a half-batch" invariant:
+                        # every member is individually terminal or
+                        # individually re-queued.
+                        record.plan_signature = started.get("plan")
+                        record.no_batch = True
+                        summary["requeued"] += 1
+                    else:
+                        record.resume_run_id = started.get("run_id")
+                        record.plan_signature = started.get("plan")
+                        summary["resumed"] += 1
                 else:
                     summary["requeued"] += 1
                 with self._lock:
@@ -991,6 +1019,8 @@ class JobService:
                 },
                 "plan_cache_entries": len(self.plan_cache),
             }
+            if self.batcher is not None:
+                doc["batch"] = self.batcher.stats()
         if self.result_cache is not None:
             doc["result_cache"] = self.result_cache.stats()
         if self.journal is not None:
@@ -1048,6 +1078,14 @@ class JobService:
             if record.state is not JobState.QUEUED:
                 continue  # cancelled while queued but before removal
             self._observe_queue_depth()
+            if self.batcher is not None:
+                members = self.batcher.form(record)
+                if members is not None:
+                    try:
+                        self._dispatch_batch(members)
+                    except ServiceCrashed:
+                        return
+                    continue
             estimate = record.estimated_bytes
             with self._capacity:
                 # Visible to drain() from the moment it left the queue.
@@ -1083,6 +1121,248 @@ class JobService:
             1 for record in self._executing.values()
             if record.request.tenant == tenant
         )
+
+    # ------------------------------------------------------------------
+    # batched execution (DESIGN.md §17)
+    # ------------------------------------------------------------------
+    def _dispatch_batch(self, members):
+        """Gate + execute + release for one formed batch.
+
+        The batch reserves its *merged* working-set estimate (one shared
+        dataset scan plus per-lane growth), occupies one execution slot,
+        and shows every member in ``_running``/``_executing`` so drain,
+        stats, and the watchdog keep seeing N independent jobs.
+        """
+        estimate = self.batcher.merged_estimate(members)
+        with self._capacity:
+            for record in members:
+                self._running[record.job_id] = record
+            while not self._may_start_batch(members, estimate):
+                self._capacity.wait(timeout=0.5)
+            self._reserved_bytes += estimate
+            for record in members:
+                self._executing[record.job_id] = record
+        try:
+            self._execute_batch(members)
+        finally:
+            with self._capacity:
+                self._reserved_bytes -= estimate
+                for record in members:
+                    self._executing.pop(record.job_id, None)
+                    self._running.pop(record.job_id, None)
+                self._capacity.notify_all()
+
+    def _may_start_batch(self, members, estimate):
+        """The dispatch gate for a whole batch (cf. :meth:`_may_start`)."""
+        if self._reserved_bytes == 0 and not self._executing:
+            return True
+        for tenant in {record.request.tenant for record in members}:
+            quota = self.admission.quota(tenant)
+            if self._tenant_running(tenant) >= quota.max_running:
+                return False
+        capacity = self.admission.aggregate_capacity()
+        free = min(self.admission.aggregate_free(), capacity - self._reserved_bytes)
+        return estimate <= free
+
+    def _execute_batch(self, members):
+        """Run the members as one multi-query dataflow; fan results out.
+
+        Terminal outcomes are always *per member*: a mid-run cancel
+        retires only that lane, a deadline fails every still-live member
+        with ``timeout``, a crash leaves the journal's per-member
+        ``started(batch=True)`` records to drive individual recovery,
+        and any other shared failure re-queues the surviving members for
+        solo execution instead of failing N jobs for one engine fault.
+        """
+        leader = members[0]
+        now = time.monotonic()
+        for record in members:
+            record.attempts += 1
+            record.mark(JobState.RUNNING)
+            record.deadline_base = now
+        self.telemetry.event(
+            "serve.batch.start", category="serve", leader=leader.job_id,
+            size=len(members), members=[r.job_id for r in members],
+            algorithm=leader.request.algorithm,
+            deadline_seconds=leader.deadline_seconds,
+        )
+        dataset = self.datasets[leader.request.dataset]
+        try:
+            self._run_batch(members, dataset)
+        except ServiceCrashed:
+            raise
+        except DeadlineExceeded as error:
+            for record in members:
+                if record.state.terminal:
+                    continue
+                with self._lock:
+                    self._deadline_exceeded += 1
+                self.telemetry.registry.counter(
+                    "serve.deadline_exceeded", tenant=record.request.tenant
+                ).inc()
+                self._finalize(record, JobState.FAILED, error=str(error),
+                               error_kind=ERROR_KIND_TIMEOUT)
+        except JobCancelled as error:
+            # Every lane retired mid-run; lanes cancelled at a boundary
+            # were finalized there — this sweeps any raced stragglers.
+            for record in members:
+                if not record.state.terminal:
+                    self._finalize(record, JobState.CANCELLED,
+                                   error=str(error), error_kind="cancelled",
+                                   reason=getattr(error, "reason", "user"))
+        except Exception as error:
+            kind = self._failure_kind(error)
+            self.telemetry.event(
+                "serve.batch.failure", category="serve",
+                leader=leader.job_id, kind=kind, error=str(error),
+            )
+            for record in members:
+                if not record.state.terminal:
+                    self.batcher.requeue(record)
+
+    def _run_batch(self, members, dataset):
+        leader = members[0]
+        request = leader.request
+        template = self._build_job(request, plan_signature=leader.plan_signature)
+        if (
+            self.journal is not None
+            and self.checkpoint_interval
+            and not getattr(template, "checkpoint_interval", 0)
+        ):
+            template.checkpoint_interval = self.checkpoint_interval
+        plan_signature = self._plan_signature(template)
+        import importlib
+
+        module_name, param_names = SERVABLE_ALGORITHMS[request.algorithm]
+        module = importlib.import_module(module_name)
+        param_sets = []
+        for record in members:
+            record.plan_signature = plan_signature
+            param_sets.append({
+                name: record.request.params[name]
+                for name in param_names
+                if name in record.request.params
+            })
+        program = MultiQueryProgram(module, param_sets, template_job=template)
+        run_id = "serve-batch-%s-x%d" % (leader.job_id, len(members))
+        for record in members:
+            record.run_id = run_id
+            self._journal_started(record, run_id, batch=True)
+        self._crash_check("dispatch", job_id=leader.job_id, batch=len(members))
+        driver = PregelixDriver(self.cluster, self.dfs)
+        output_path = "/serve/jobs/%s/out" % leader.job_id
+        crashed = False
+        try:
+            outcome, lane_lines = program.run(
+                driver, dataset.path, output_path, run_id=run_id,
+                boundary_chain=self._batch_boundary_chain(members, program),
+            )
+            lane_steps = program.lane_supersteps(outcome)
+            job = program.job
+            for lane, record in enumerate(members):
+                if record.state.terminal:
+                    continue  # this lane was cancelled at a boundary
+                with self.telemetry.span(
+                    "lane:%d" % lane, category="serve", run_id=run_id,
+                    job_id=record.job_id,
+                ):
+                    doc = program.lane_document(
+                        lane, request.algorithm, outcome, lane_lines[lane],
+                        lane_supersteps=lane_steps[lane],
+                    )
+                    record.result = doc
+                    record.result_digest = result_digest(doc)
+                    record.cache_key = ResultCache.make_key(
+                        dataset.digest, record.request.algorithm,
+                        record.request.params_key(), plan_class(job),
+                    )
+                    self._crash_check(
+                        "finishing", job_id=record.job_id, lane=lane
+                    )
+                    self._remember(record.request, dataset, job, doc)
+                    self._finalize(record, JobState.SUCCEEDED)
+                self.telemetry.event(
+                    "serve.batch.lane", category="serve",
+                    job_id=record.job_id, lane=lane, run_id=run_id,
+                    digest=record.result_digest, supersteps=lane_steps[lane],
+                )
+                self.telemetry.event(
+                    "serve.complete", category="serve", job_id=record.job_id,
+                    tenant=record.request.tenant, cache_hit=False,
+                    attempts=record.attempts, batched=True,
+                )
+        except ServiceCrashed:
+            crashed = True
+            raise
+        finally:
+            if not crashed:
+                self.dfs.delete("/serve/jobs/%s" % leader.job_id, recursive=True)
+
+    def _batch_boundary_chain(self, members, program):
+        """The per-superstep control point for a batched run.
+
+        Mirrors :meth:`_boundary_hook_for` but per lane: progress is
+        noted on every member (the watchdog sees N jobs advancing), a
+        member's cooperative cancel retires *its lane* at this boundary
+        (finalized CANCELLED immediately — the other lanes run on), and
+        the shared deadline budget (equal across members by batch
+        compatibility) fails the whole run when exceeded.
+        """
+        leader = members[0]
+        control = program.control
+
+        def chain(superstep):
+            for record in members:
+                record.note_boundary()
+            with self._lock:
+                crashed = self._state == "crashed"
+            if crashed:
+                raise ServiceCrashed("running")
+            self._crash_check(
+                "running", job_id=leader.job_id, superstep=superstep,
+                batch=len(members),
+            )
+            live = 0
+            for lane, record in enumerate(members):
+                if record.state.terminal:
+                    continue
+                reason = record.cancel_requested
+                if reason:
+                    control.cancel(lane)
+                    self._finalize(
+                        record, JobState.CANCELLED,
+                        error="job %s cancelled (%s) at batched superstep %d"
+                              % (record.job_id, reason, superstep),
+                        error_kind="cancelled", reason=reason,
+                    )
+                    self.telemetry.registry.counter(
+                        "serve.batch.lane_cancelled"
+                    ).inc()
+                    self.telemetry.event(
+                        "serve.batch.cancel_lane", category="serve",
+                        job_id=record.job_id, lane=lane, reason=reason,
+                        superstep=superstep,
+                    )
+                    continue
+                live += 1
+            if live == 0:
+                raise JobCancelled(
+                    "all %d batched lanes cancelled by superstep %d"
+                    % (len(members), superstep),
+                    reason="user",
+                )
+            budget = leader.deadline_seconds
+            if budget is not None and leader.deadline_base is not None:
+                elapsed = time.monotonic() - leader.deadline_base
+                if elapsed > budget:
+                    raise DeadlineExceeded(
+                        "batch %s exceeded its %.3fs deadline at superstep "
+                        "%d (%.3fs elapsed)"
+                        % (leader.job_id, budget, superstep, elapsed),
+                        budget_seconds=budget, elapsed_seconds=elapsed,
+                    )
+
+        return chain
 
     def _observe_queue_depth(self):
         self.telemetry.registry.gauge("serve.queue_depth").set(len(self.queue))
@@ -1262,15 +1542,17 @@ class JobService:
             if not crashed:
                 self.dfs.delete("/serve/jobs/%s" % record.job_id, recursive=True)
 
-    def _journal_started(self, record, run_id):
+    def _journal_started(self, record, run_id, **extra):
         """WAL the dispatch (run id + resolved plan). A failed append
         fails this attempt — running work the journal does not know
-        about would be invisible to a post-crash recovery."""
+        about would be invisible to a post-crash recovery. Batched
+        dispatches add ``batch=True`` so recovery re-queues interrupted
+        members for solo re-runs instead of resuming wrapped state."""
         if self.journal is None:
             return
         self.journal.append(
             RECORD_STARTED, record.job_id, run_id=run_id,
-            plan=record.plan_signature, attempt=record.attempts,
+            plan=record.plan_signature, attempt=record.attempts, **extra,
         )
 
     def _boundary_hook_for(self, record):

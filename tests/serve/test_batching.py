@@ -1,0 +1,246 @@
+"""Batched point queries in the serve layer (DESIGN.md §17).
+
+Covers batch formation, per-member result fan-out (digests identical to
+solo runs), result/plan cache seeding under batched completion,
+``ResultCache.invalidate``, journal ``batch`` markers, and mid-batch
+crash recovery (never a half-batch).
+"""
+
+import time
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec
+from repro.hdfs import MiniDFS
+from repro.hyracks.engine import HyracksCluster
+from repro.serve import JobService, JobState, ServiceCrashed
+from repro.serve.batching import BATCHABLE_ALGORITHMS, BatchFormer
+from repro.serve.journal import RECORD_STARTED
+
+WAIT = 120
+SOURCES = (0, 3, 7, 11)
+
+
+def _submit_sssp(service, sources, tenant_of=lambda s: "alice", **extra):
+    records = []
+    for source in sources:
+        body = {
+            "tenant": tenant_of(source), "algorithm": "sssp", "dataset": "g",
+            "params": {"source_id": source},
+        }
+        body.update(extra)
+        records.append(service.submit(body))
+    return records
+
+
+@pytest.fixture(scope="module")
+def solo_digests(serve_graph):
+    """Unbatched-service digests per source: the fan-out equivalence bar."""
+    service = JobService(num_nodes=3, workers=1, watchdog=False)
+    service.add_dataset("g", vertices=list(serve_graph))
+    service.start()
+    try:
+        digests = {}
+        for source in SOURCES:
+            record = _submit_sssp(service, [source])[0]
+            assert record.wait(WAIT) is JobState.SUCCEEDED, record.error
+            digests[source] = record.result_digest
+        return digests
+    finally:
+        service.shutdown(timeout=WAIT)
+
+
+@pytest.fixture
+def batched_service(serve_graph):
+    service = JobService(
+        num_nodes=3, workers=1, watchdog=False,
+        batch_max=8, batch_window=0.4,
+    )
+    service.add_dataset("g", vertices=list(serve_graph))
+    service.start()
+    yield service
+    service.shutdown(timeout=WAIT)
+
+
+class TestBatchedCompletion:
+    def test_batch_fans_out_solo_identical_results_and_seeds_caches(
+        self, batched_service, solo_digests
+    ):
+        service = batched_service
+        records = _submit_sssp(
+            service, SOURCES,
+            tenant_of=lambda s: "alice" if s % 2 == 0 else "bob",
+        )
+        for record, source in zip(records, SOURCES):
+            assert record.wait(WAIT) is JobState.SUCCEEDED, record.error
+            assert record.result_digest == solo_digests[source], (
+                "batched lane for source %d diverged from solo" % source
+            )
+        stats = service.stats()
+        assert stats["batch"]["formed"] >= 1
+        assert stats["batch"]["batched_jobs"] >= 2
+        batched = [r for r in records if r.result.get("batch")]
+        assert len(batched) >= 2, "no jobs actually shared a run"
+        shared = batched[0].result["batch"]["run_id"]
+        assert all(r.result["batch"]["run_id"] == shared for r in batched)
+
+        # a batch of N seeds N result-cache entries...
+        assert stats["result_cache"]["entries"] == len(SOURCES)
+        # ...and the plan cache learned the proven plan once
+        dataset = service.datasets["g"]
+        assert service.plan_cache.lookup(dataset.digest, "sssp") is not None
+
+        # an identical later query is a cache hit, never touching the cluster
+        executed_before = service.cluster.jobs_executed
+        hits_before = service.telemetry.registry.counter(
+            "serve.cache_hit"
+        ).value
+        repeat = _submit_sssp(service, [SOURCES[1]],
+                              tenant_of=lambda s: "carol")[0]
+        assert repeat.wait(WAIT) is JobState.SUCCEEDED
+        assert repeat.cache_hit
+        assert repeat.result_digest == solo_digests[SOURCES[1]]
+        assert service.cluster.jobs_executed == executed_before
+        assert service.telemetry.registry.counter(
+            "serve.cache_hit"
+        ).value > hits_before
+
+    def test_result_cache_invalidate_forces_reexecution(
+        self, batched_service, solo_digests
+    ):
+        service = batched_service
+        records = _submit_sssp(service, SOURCES)
+        for record in records:
+            assert record.wait(WAIT) is JobState.SUCCEEDED, record.error
+        dataset = service.datasets["g"]
+        assert len(service.result_cache) == len(SOURCES)
+        # drop exactly this dataset's entries by key predicate
+        removed = service.result_cache.invalidate(
+            lambda key: key[0] == dataset.digest
+        )
+        assert removed == len(SOURCES)
+        assert len(service.result_cache) == 0
+        executed_before = service.cluster.jobs_executed
+        repeat = _submit_sssp(service, [SOURCES[0]])[0]
+        assert repeat.wait(WAIT) is JobState.SUCCEEDED
+        assert not repeat.cache_hit
+        assert repeat.result_digest == solo_digests[SOURCES[0]]
+        assert service.cluster.jobs_executed > executed_before
+
+    def test_unbatchable_algorithms_run_solo(self, batched_service):
+        assert "pagerank" not in BATCHABLE_ALGORITHMS
+        service = batched_service
+        records = [
+            service.submit({
+                "tenant": "alice", "algorithm": "pagerank", "dataset": "g",
+                "params": {"iterations": 3}, "use_cache": False,
+            })
+            for _ in range(2)
+        ]
+        for record in records:
+            assert record.wait(WAIT) is JobState.SUCCEEDED, record.error
+        assert service.stats()["batch"]["formed"] == 0
+        assert all(not r.result.get("batch") for r in records)
+
+
+class TestBatchFormerUnits:
+    def test_merged_estimate_charges_lanes_not_copies(self):
+        class Stub:
+            def __init__(self, estimated_bytes):
+                self.estimated_bytes = estimated_bytes
+
+        former = BatchFormer(service=None, batch_max=8, lane_growth=0.25)
+        assert former.merged_estimate([]) == 0
+        assert former.merged_estimate([Stub(1000)]) == 1000
+        # base = max; each extra lane adds lane_growth of its own estimate
+        assert former.merged_estimate(
+            [Stub(1000), Stub(800), Stub(400)]
+        ) == 1000 + 200 + 100
+
+
+class TestMidBatchCrash:
+    @pytest.fixture
+    def harness(self, serve_graph):
+        cluster = HyracksCluster(num_nodes=3)
+        dfs = MiniDFS(datanodes=cluster.node_ids())
+
+        def make_service(**overrides):
+            kwargs = dict(
+                cluster=cluster, dfs=dfs, workers=1,
+                journal="dfs:/serve/journal.wal", checkpoint_interval=1,
+                watchdog=False, batch_max=8, batch_window=0.4,
+            )
+            kwargs.update(overrides)
+            service = JobService(**kwargs)
+            service.add_dataset("g", vertices=list(serve_graph))
+            return service
+
+        yield cluster, dfs, make_service
+        cluster.close()
+
+    def _crash_mid_batch(self, cluster, dfs, make_service, phase, at_hit):
+        plan = FaultPlan([
+            FaultSpec(site="service.crash", action="io", node=phase,
+                      at_hit=at_hit, min_superstep=0),
+        ])
+        injector = FaultInjector(plan).attach(cluster, dfs=dfs)
+        service = make_service()
+        service.start()
+        try:
+            records = _submit_sssp(service, SOURCES)
+        except ServiceCrashed:
+            pytest.fail("crash fired before the batch dispatched")
+        deadline = time.monotonic() + WAIT
+        while service._state != "crashed" and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert service._state == "crashed", "crash never fired at %r" % phase
+        injector.detach()
+        return service, records
+
+    @pytest.mark.parametrize(
+        "phase,at_hit", [("running", 1), ("finishing", 2)],
+        ids=["mid-run", "mid-fanout"],
+    )
+    def test_crash_recovers_every_member_never_half_a_batch(
+        self, harness, solo_digests, phase, at_hit
+    ):
+        cluster, dfs, make_service = harness
+        crashed, records = self._crash_mid_batch(
+            cluster, dfs, make_service, phase, at_hit
+        )
+        # journal marked every batched dispatch, so recovery knows these
+        # STARTED records must restart fresh (solo), never resume a
+        # wrapped checkpoint
+        started = [
+            r for r in crashed.journal.replay().records
+            if r.get("type") == RECORD_STARTED
+        ]
+        assert started and all(r.get("batch") for r in started)
+
+        restarted = make_service()
+        summary = restarted.recover()
+        # every member is either terminal-with-digest or re-queued —
+        # no member may be lost or resumed into a half-batch
+        assert (
+            summary["finished"] + summary["requeued"] + summary["resumed"]
+            == len(SOURCES)
+        )
+        assert summary["resumed"] == 0, "batch members must restart fresh"
+        requeued_ids = {
+            job_id for job_id, record in restarted.jobs.items()
+            if record.state is JobState.QUEUED
+        }
+        for job_id in requeued_ids:
+            # the never-a-half-batch invariant: recovered members restart
+            # solo, they do not wait for a batch that no longer exists
+            assert getattr(restarted.jobs[job_id], "no_batch", False)
+        restarted.start()
+        try:
+            for record, source in zip(records, SOURCES):
+                replayed = restarted.jobs[record.job_id]
+                assert replayed.wait(WAIT) is JobState.SUCCEEDED, (
+                    replayed.error
+                )
+                assert replayed.result_digest == solo_digests[source]
+        finally:
+            restarted.shutdown(timeout=WAIT)

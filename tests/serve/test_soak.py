@@ -14,8 +14,12 @@ joining and retiring between batches. The bars:
   closed) — a handoff that leaked pins or handles would compound here;
 * **no starvation** — both tenants finish everything they submitted.
 
-Ticks are driven manually between submission and drain phases so the
-scaling schedule is deterministic; the thread is exercised elsewhere.
+Ticks are driven manually between submission and drain phases with
+*injected* observations (``tick(backlog=..., executing=...)``, the same
+pattern as ``Watchdog.scan(now=...)``) so the scaling schedule is
+deterministic — a tick that reads the live queue depth races the worker
+threads, which may already have drained the batch it was meant to see.
+The threaded path is exercised elsewhere.
 """
 
 from repro.serve import JobService
@@ -76,8 +80,9 @@ def test_soak_under_cycling_autoscaler(serve_graph, reference_results):
                 })
                 submitted.append((tenant, algorithm, record))
             # Backlog is deep (10 submissions, 3 workers): grow the
-            # cluster while the batch runs.
-            scaler.tick()
+            # cluster while the batch runs. The observation is injected —
+            # the submissions above ARE the backlog this tick saw.
+            scaler.tick(backlog=JOBS_PER_BATCH, executing=0)
             for tenant, algorithm, record in submitted:
                 state = record.wait(WAIT)
                 assert state is not None and state.value == "succeeded", (
@@ -85,9 +90,10 @@ def test_soak_under_cycling_autoscaler(serve_graph, reference_results):
                     % (batch, tenant, record.job_id, state, record.error)
                 )
             records.extend(submitted)
-            # The batch drained; idle ticks shrink back to min_nodes.
+            # The batch drained (every record.wait returned): these ticks
+            # observed an idle service, shrinking back to min_nodes.
             for _ in range(4):
-                scaler.tick()
+                scaler.tick(backlog=0, executing=0)
             _assert_no_pin_leaks(service.cluster)
             handles = _handle_counts(service.cluster)
             if baseline_handles is None:

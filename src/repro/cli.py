@@ -163,9 +163,11 @@ def build_parser():
         help="start the multi-tenant job service over HTTP (DESIGN.md §14)",
     )
     serve.add_argument(
-        "action", nargs="?", choices=["recover"], default=None,
+        "action", nargs="?", choices=["recover", "top"], default=None,
         help="'recover': replay the journal, print the recovery summary, "
-             "and exit without serving (requires --journal)",
+             "and exit without serving (requires --journal); "
+             "'top': poll a running service's /stats and /stats/history "
+             "and render a live operator view (see --url)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
@@ -236,6 +238,19 @@ def build_parser():
         "--demo-dataset", type=int, default=None, metavar="N",
         help="pre-load a generated N-vertex BTC-style graph as dataset "
              "'demo' (handy for the kill -9 recovery walkthrough)",
+    )
+    serve.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of the service to watch with 'serve top' "
+             "(default http://HOST:PORT from --host/--port)",
+    )
+    serve.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="'serve top' refresh interval in seconds (default 2)",
+    )
+    serve.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="'serve top' stops after N refreshes (0 = run until Ctrl-C)",
     )
     serve.add_argument(
         "--smoke", action="store_true",
@@ -695,6 +710,8 @@ def cmd_serve(args, out=print):
         return _serve_smoke(args, out=out)
     if args.smoke_restart:
         return _serve_restart_smoke(args, out=out)
+    if args.action == "top":
+        return _serve_top(args, out=out)
     if args.action == "recover" and not args.journal:
         out("error: 'repro serve recover' requires --journal DIR")
         return 2
@@ -781,6 +798,149 @@ def cmd_serve(args, out=print):
         drained = service.shutdown(drain=True, timeout=args.drain_timeout)
         out("stopped (drained: %s)" % drained)
     return 0
+
+
+_SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def _sparkline(values, width=30):
+    """An ASCII intensity strip of the last ``width`` values."""
+    values = [v for v in values if v is not None][-width:]
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[min(int(round(v / peak * top)), top)] for v in values
+    )
+
+
+def _render_top(base, stats, history):
+    """The text frame ``repro serve top`` prints each refresh."""
+    lines = []
+    jobs = stats.get("jobs", {})
+    lines.append(
+        "repro serve top — %s  [%s, up %.0fs]" % (
+            base, stats.get("state", "?"), stats.get("uptime_seconds", 0.0),
+        )
+    )
+    lines.append(
+        "nodes %d schedulable  queue %d  running %d  executed %d  "
+        "rejected %d  shed %d" % (
+            stats.get("nodes", 0),
+            stats.get("queue_depth", 0),
+            len(stats.get("running", ())),
+            stats.get("jobs_executed", 0),
+            stats.get("rejected", 0),
+            stats.get("shed", 0),
+        )
+    )
+    if jobs:
+        lines.append("jobs: " + "  ".join(
+            "%s %d" % (state, count) for state, count in sorted(jobs.items())
+        ))
+    cache = stats.get("result_cache")
+    if cache:
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        ratio = cache["hits"] / lookups if lookups else 0.0
+        lines.append(
+            "cache: %d entries, %.0f%% hit (%d/%d)" % (
+                cache.get("entries", 0), 100.0 * ratio,
+                cache.get("hits", 0), lookups,
+            )
+        )
+    journal = stats.get("journal")
+    if journal:
+        lines.append(
+            "journal: %s appends, avg append %.1fms" % (
+                journal.get("appends", "?"),
+                1000.0 * (journal.get("avg_append_seconds") or 0.0),
+            )
+        )
+    for tenant, summaries in sorted(stats.get("latency", {}).items()):
+        e2e = summaries.get("e2e") or {}
+        if not e2e.get("count"):
+            continue
+        lines.append(
+            "latency %-12s e2e p50 %6.1fms  p95 %6.1fms  p99 %6.1fms  "
+            "(%d jobs)" % (
+                tenant or "(default)",
+                1000.0 * (e2e.get("p50") or 0.0),
+                1000.0 * (e2e.get("p95") or 0.0),
+                1000.0 * (e2e.get("p99") or 0.0),
+                e2e.get("count", 0),
+            )
+        )
+    samples = (history or {}).get("samples") or []
+    if samples:
+        depths = [s.get("queue_depth") for s in samples]
+        lines.append(
+            "queue depth  [%s]  now %s" % (
+                _sparkline(depths), depths[-1] if depths else "?",
+            )
+        )
+        virtual = samples[-1].get("virtual_time_by_tenant") or {}
+        if virtual:
+            lines.append("fair share:  " + "  ".join(
+                "%s vt=%.0f" % (tenant, vt)
+                for tenant, vt in sorted(virtual.items())
+            ))
+        ratios = [s.get("cache_hit_ratio") for s in samples]
+        if any(r is not None for r in ratios):
+            lines.append("cache ratio  [%s]" % _sparkline(ratios))
+        appends = [s.get("journal_append_seconds") for s in samples]
+        if any(a is not None for a in appends):
+            lines.append("journal lat  [%s]" % _sparkline(appends))
+    return lines
+
+
+def _serve_top(args, out=print):
+    """Poll a running service and render a refreshing operator view.
+
+    Read-only: only ``GET /stats`` and ``GET /stats/history`` are hit,
+    so pointing ``top`` at a production service is always safe. With
+    ``--count 0`` it refreshes until Ctrl-C.
+    """
+    import json as json_module
+    import time
+    import urllib.error
+    import urllib.request
+
+    base = (args.url or "http://%s:%d" % (args.host, args.port)).rstrip("/")
+
+    def fetch(path):
+        try:
+            with urllib.request.urlopen(base + path, timeout=10) as response:
+                return json_module.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                error.read()
+            finally:
+                error.close()
+            return None  # e.g. 404 when history sampling is disabled
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            raise ConnectionError("%s: %s" % (base + path, error))
+
+    rounds = 0
+    try:
+        while True:
+            rounds += 1
+            try:
+                stats = fetch("/stats")
+                history = fetch("/stats/history?n=120")
+            except ConnectionError as error:
+                out("serve top: service unreachable (%s)" % error)
+                return 1
+            for line in _render_top(base, stats, history):
+                out(line)
+            if args.count and rounds >= args.count:
+                return 0
+            out("")
+            time.sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _serve_smoke(args, out=print):
@@ -936,6 +1096,81 @@ def _serve_smoke(args, out=print):
             status == 200 and stats.get("jobs", {}).get("succeeded") == 2
             and stats.get("rejected", 0) >= 1,
             json_module.dumps(stats.get("jobs", {})),
+        )
+
+        # 4. The observability surfaces (DESIGN.md §18): the per-job
+        # trace, the Prometheus exposition, and the health history.
+        status, trace = http("GET", "/jobs/%s/trace" % job_id)
+        events = trace.get("traceEvents", []) if status == 200 else []
+        opens = [e for e in events if e.get("ph") == "B"]
+        closes = [e for e in events if e.get("ph") == "E"]
+        names = {e.get("name") for e in opens}
+        check(
+            "job trace is well formed",
+            status == 200 and opens and len(opens) == len(closes),
+            "status %s: %d B vs %d E events" % (
+                status, len(opens), len(closes)),
+        )
+        check(
+            "trace has lifecycle and superstep spans",
+            {"queue-wait", "run"} <= names
+            and any(n.startswith("superstep:") for n in names),
+            ",".join(sorted(names)),
+        )
+
+        with urllib.request.urlopen(
+            base + "/metrics", timeout=args.smoke_deadline
+        ) as response:
+            exposition = response.read().decode("utf-8")
+        lines = [
+            line for line in exposition.splitlines()
+            if line and not line.startswith("#")
+        ]
+        torn = [
+            line for line in lines
+            if " " not in line
+            or line.count("{") != line.count("}")
+            or (line.count('"') % 2) != 0
+        ]
+        series = {line.split("{")[0].split(" ")[0] for line in lines}
+        check("metrics exposition parses", lines and not torn,
+              "torn: %r" % torn[:3])
+        check(
+            "metrics has serve counters and latency histogram",
+            {"serve_submitted_total", "serve_latency_e2e_seconds_bucket",
+             "serve_latency_e2e_seconds_sum",
+             "serve_latency_e2e_seconds_count"} <= series,
+            ",".join(sorted(series)),
+        )
+        # /metrics and /stats read the same histogram objects, so the
+        # distributions they report must agree.
+        scraped_count = sum(
+            float(line.rsplit(" ", 1)[1]) for line in lines
+            if line.startswith("serve_latency_e2e_seconds_count")
+        )
+        stats_count = sum(
+            tenant.get("e2e", {}).get("count", 0)
+            for tenant in stats.get("latency", {}).values()
+        )
+        check(
+            "metrics agree with /stats latency",
+            stats_count and scraped_count == stats_count,
+            "%s scraped vs %s in /stats" % (scraped_count, stats_count),
+        )
+
+        # The sampler ticks every 0.5s; a fast smoke may beat the first
+        # tick, so poll until one lands (bounded by the deadline).
+        waited = 0.0
+        status, history = http("GET", "/stats/history")
+        while not history.get("taken") and waited < args.smoke_deadline:
+            time.sleep(0.2)
+            waited += 0.2
+            status, history = http("GET", "/stats/history")
+        check(
+            "stats history has samples",
+            status == 200 and history.get("taken", 0) >= 1
+            and history.get("samples"),
+            "status %s: taken=%s" % (status, history.get("taken")),
         )
     finally:
         server.close()

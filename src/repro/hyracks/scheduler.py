@@ -107,8 +107,17 @@ class ThreadPoolTaskRunner(TaskRunner):
             self.telemetry.tracer.register_thread(threading.current_thread().name)
 
     def map(self, tasks):
+        # Carry the submitting thread's tracer context (job_id/run_id
+        # correlation args) into the workers, so spans recorded by
+        # parallel clones are attributable to the job that spawned them.
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        context = tracer.current_context() if tracer is not None else None
+
         def guarded(partition, task):
             try:
+                if context:
+                    with tracer.context(**context):
+                        return TaskOutcome(partition, value=task())
                 return TaskOutcome(partition, value=task())
             except Exception as error:
                 return TaskOutcome(partition, error=error)

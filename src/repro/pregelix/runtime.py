@@ -127,7 +127,11 @@ class PregelixDriver:
         )
         telemetry = self.telemetry
 
-        with telemetry.span(
+        # Scoped tracer context: every span below (supersteps, engine
+        # job/task spans, storage ops — including on pool worker
+        # threads) is stamped with this run's id without plumbing it
+        # through the engine call graph.
+        with telemetry.tracer.context(run_id=run_id), telemetry.span(
             "pregelix:%s" % job.name, category="pregelix", run_id=run_id
         ):
             with telemetry.span("load", category="phase", run_id=run_id) as load_span:
@@ -239,7 +243,7 @@ class PregelixDriver:
                 parse_line=parse_line, format_record=format_record,
                 run_id=run_id, boundary_hook=boundary_hook,
             )
-        with telemetry.span(
+        with telemetry.tracer.context(run_id=run_id), telemetry.span(
             "pregelix:%s" % job.name, category="pregelix", run_id=run_id
         ):
             with telemetry.span("resume", category="recovery", run_id=run_id):

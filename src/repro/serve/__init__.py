@@ -15,6 +15,13 @@ logs every job lifecycle transition so a restarted service recovers
 every journaled job; :mod:`repro.serve.watchdog` flags wedged runs; the
 service enforces per-job deadlines cooperatively and sheds load when
 the queue or the journal falls behind.
+
+Observability (DESIGN.md §18): every job carries a distributed trace
+assembled on demand (:mod:`repro.serve.jobtrace`, ``GET
+/jobs/<id>/trace``); :mod:`repro.serve.history` ring-buffers the
+service's vitals for ``GET /stats/history`` and ``repro serve top``;
+and ``GET /metrics`` exposes the shared registry in Prometheus text
+format (:mod:`repro.telemetry.prometheus`).
 """
 
 from repro.serve.admission import (
@@ -42,7 +49,9 @@ from repro.serve.cache import (
     plan_class,
     result_digest,
 )
+from repro.serve.history import HistorySampler
 from repro.serve.http import ServeHTTPServer
+from repro.serve.jobtrace import job_trace_document
 from repro.serve.journal import (
     DFSJournalStorage,
     Journal,
@@ -64,6 +73,7 @@ __all__ = [
     "DFSJournalStorage",
     "Dataset",
     "FairShareQueue",
+    "HistorySampler",
     "JobRecord",
     "JobRequest",
     "JobService",
@@ -81,6 +91,7 @@ __all__ = [
     "TenantQuota",
     "advance_job_ids",
     "estimate_job_bytes",
+    "job_trace_document",
     "open_journal",
     "plan_class",
     "result_digest",

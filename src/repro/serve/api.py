@@ -261,12 +261,51 @@ class JobRecord:
         # attempt) and the resolved result-cache key of a finished run.
         self.deadline_base = None
         self.cache_key = None
+        # Distributed-tracing bookkeeping: perf_counter lifecycle stamps
+        # (same timebase as the tracer's spans, so the per-job trace's
+        # synthetic queue-wait/run/fan-out spans land on the engine
+        # spans' timeline) and every run id this job executed under —
+        # solo attempts and shared batch runs alike.
+        self.trace_marks = {"submitted": time.perf_counter()}
+        self.trace_run_ids = set()
+
+    def mark_trace(self, name, stamp=None):
+        """Record a lifecycle trace stamp; the first occurrence wins
+        (a re-queued or retried job keeps its original phase edges)."""
+        self.trace_marks.setdefault(
+            name, time.perf_counter() if stamp is None else stamp
+        )
+
+    def span_breakdown(self):
+        """Queue-wait / run / fan-out wall seconds from the trace marks.
+
+        Phases a job never entered (e.g. ``run`` for a cache hit,
+        ``fanout`` for a solo run) report ``None``.
+        """
+        marks = self.trace_marks
+
+        def seconds(begin, end):
+            if begin in marks and end in marks:
+                return max(marks[end] - marks[begin], 0.0)
+            return None
+
+        return {
+            "queue_wait_seconds": seconds("queued", "dequeued"),
+            "run_seconds": seconds("running", "finished"),
+            "fanout_seconds": seconds("fanout_begin", "fanout_end"),
+            "end_to_end_seconds": seconds("submitted", "finished"),
+        }
 
     def mark(self, state):
         self.state = state
-        if state == JobState.RUNNING and self.started_at is None:
-            self.started_at = time.time()
+        if state == JobState.QUEUED:
+            self.mark_trace("queued")
+        if state == JobState.RUNNING:
+            self.mark_trace("running")
+            if self.started_at is None:
+                self.started_at = time.time()
         if state.terminal:
+            self.mark_trace("finished")
             self.finished_at = time.time()
             self._done.set()
 
@@ -306,6 +345,7 @@ class JobRecord:
             "cancel_requested": self.cancel_requested,
             "result_digest": self.result_digest,
             "recovered": self.recovered,
+            "spans": self.span_breakdown(),
         }
 
 

@@ -1,0 +1,126 @@
+"""Ring-buffered health history for the job service.
+
+A :class:`HistorySampler` snapshots the service's operational vitals on
+a fixed cadence — queue depth (total and per tenant), running/executing
+job counts, schedulable vs draining nodes, result-cache hit ratio,
+rolling journal-append latency, and each tenant's fair-share virtual
+time — into a bounded deque. ``GET /stats/history`` serves the retained
+window and ``repro serve top`` renders it live, so an operator can see
+*trends* (a queue filling up, a tenant starving, append latency
+creeping toward the shed threshold) instead of one instant.
+
+Sampling is read-only and failure-isolated: a throwing sample is
+dropped, never propagated into the serving path.
+"""
+
+import threading
+import time
+from collections import deque
+
+DEFAULT_INTERVAL = 0.5
+DEFAULT_CAPACITY = 600
+
+
+class HistorySampler:
+    """Samples one health snapshot per tick into a bounded ring.
+
+    :param service: the :class:`~repro.serve.service.JobService` to watch.
+    :param interval: seconds between samples.
+    :param capacity: retained samples (oldest dropped first).
+    :param clock: wall-clock source for the sample timestamps.
+    """
+
+    def __init__(self, service, interval=DEFAULT_INTERVAL,
+                 capacity=DEFAULT_CAPACITY, clock=time.time):
+        self.service = service
+        self.interval = max(float(interval), 0.01)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._samples = deque(maxlen=self.capacity)
+        self._taken = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-history", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def _loop(self):
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample()
+            except Exception:
+                continue  # a failed sample must never hurt serving
+
+    # ------------------------------------------------------------------
+    def sample(self):
+        """Take one snapshot now; returns the sample dict."""
+        service = self.service
+        sample = {"ts": self._clock()}
+        with service._lock:
+            sample["state"] = service._state
+            sample["running"] = len(service._running)
+            sample["executing"] = len(service._executing)
+            sample["reserved_bytes"] = service._reserved_bytes
+        sample["queue_depth"] = len(service.queue)
+        sample["queue_by_tenant"] = service.queue.depth_by_tenant()
+        virtual = service.queue.virtual_times()
+        sample["virtual_time"] = virtual["global"]
+        sample["virtual_time_by_tenant"] = virtual["tenants"]
+        cluster = service.cluster
+        sample["nodes_schedulable"] = len(cluster.schedulable_node_ids())
+        sample["nodes_draining"] = len(cluster.draining_node_ids())
+        sample["cache_hit_ratio"] = None
+        if service.result_cache is not None:
+            cache = service.result_cache.stats()
+            lookups = cache["hits"] + cache["misses"]
+            if lookups:
+                sample["cache_hit_ratio"] = cache["hits"] / lookups
+        sample["journal_append_seconds"] = (
+            service.journal.avg_append_seconds()
+            if service.journal is not None
+            else None
+        )
+        with self._lock:
+            self._samples.append(sample)
+            self._taken += 1
+        return sample
+
+    def samples(self, last=None):
+        """The retained samples, oldest first (optionally the last N)."""
+        with self._lock:
+            items = list(self._samples)
+        if last is not None:
+            items = items[-max(int(last), 0):] if int(last) else []
+        return items
+
+    def document(self, last=None):
+        """The ``GET /stats/history`` payload."""
+        with self._lock:
+            taken = self._taken
+            retained = len(self._samples)
+        return {
+            "interval_seconds": self.interval,
+            "capacity": self.capacity,
+            "taken": taken,
+            "retained": retained,
+            "samples": self.samples(last=last),
+        }
+
+    def __len__(self):
+        with self._lock:
+            return len(self._samples)

@@ -4,8 +4,12 @@ Endpoints (JSON in, JSON out)::
 
     POST /jobs              submit a job; 202 on admit, 429/400 on
                             reject, 503 + Retry-After when shedding
-    GET  /jobs/<id>         job record (state, timings, errors)
+    GET  /jobs/<id>         job record (state, timings, errors, span
+                            breakdown)
     GET  /jobs/<id>/result  the shared result document; 409 until terminal
+    GET  /jobs/<id>/trace   the assembled per-job Chrome trace (queue
+                            wait, run, supersteps, operator tasks — that
+                            job only, batched or not)
     POST /jobs/<id>/cancel  cancel: 200 (queued, now terminal), 202
                             (running, cooperative flag set), 409 with
                             the terminal state when the job already
@@ -16,6 +20,11 @@ Endpoints (JSON in, JSON out)::
                             payload flags ``degraded`` when any node is
                             missing heartbeats)
     GET  /stats             service statistics snapshot
+    GET  /stats/history     the health-history ring buffer (optionally
+                            ``?n=<last N samples>``); 404 when sampling
+                            is disabled
+    GET  /metrics           Prometheus text exposition (format 0.0.4)
+                            of every counter, gauge, and histogram
     POST /cluster/scale     elastic resize: {"nodes": N} within the
                             autoscale band; 200 with the scale outcome
 
@@ -32,6 +41,7 @@ A job that failed by deadline answers its result query with 410 plus a
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro.serve.api import (
     ERROR_KIND_TIMEOUT,
@@ -72,6 +82,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(200 if doc["ok"] else 503, doc)
         elif path == "/stats":
             self._json(200, self.service.stats())
+        elif path == "/stats/history":
+            sampler = getattr(self.service, "history", None)
+            if sampler is None:
+                self._error(404, "no_history", "history sampling is disabled")
+                return
+            last = None
+            query = parse_qs(self.path.partition("?")[2])
+            if query.get("n"):
+                try:
+                    last = int(query["n"][0])
+                except ValueError:
+                    self._error(400, "bad_request", "n must be an integer")
+                    return
+            self._json(200, sampler.document(last=last))
+        elif path == "/metrics":
+            from repro.telemetry.prometheus import CONTENT_TYPE, render_prometheus
+
+            body = render_prometheus(self.service.telemetry.registry)
+            self._text(200, body, CONTENT_TYPE)
         elif path == "/jobs":
             with self.service._lock:
                 records = list(self.service.jobs.values())
@@ -109,6 +138,8 @@ class _Handler(BaseHTTPRequestHandler):
                     doc["job_id"] = record.job_id
                     doc["cache_hit"] = record.cache_hit
                     self._json(200, doc)
+            elif len(parts) == 4 and parts[3] == "trace":
+                self._json(200, self.service.job_trace(parts[2]))
             else:
                 self._error(404, "not_found", "unknown path %r" % path)
         else:
@@ -199,6 +230,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _text(self, status, body, content_type):
+        """One whole-body write (scrapers never observe torn lines)."""
+        body = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 

@@ -141,6 +141,16 @@ class FairShareQueue:
         with self._lock:
             return {t: len(q) for t, q in self._pending.items() if q}
 
+    def virtual_times(self):
+        """Global and per-tenant stride-scheduler pass values (copies).
+
+        The history sampler graphs these: the tenant whose pass advances
+        fastest is consuming the most dispatches relative to its weight,
+        and a backlogged tenant whose pass sits still is starving.
+        """
+        with self._lock:
+            return {"global": self._global_pass, "tenants": dict(self._passes)}
+
     def close(self):
         """Wake every blocked :meth:`pop` with ``None``; reject pushes."""
         with self._lock:

@@ -76,6 +76,8 @@ from repro.serve.api import (
     result_document,
 )
 from repro.serve.cache import PlanCache, ResultCache, plan_class, result_digest
+from repro.serve.history import HistorySampler
+from repro.serve.jobtrace import job_trace_document
 from repro.serve.journal import (
     RECORD_CANCELLED,
     RECORD_FINISHED,
@@ -147,6 +149,11 @@ class JobService:
         disables batching.
     :param batch_window: seconds of queue time a batchable leader waits
         for companions before dispatching.
+    :param history_interval: seconds between health-history samples
+        (queue depth, node counts, cache hit ratio, journal latency,
+        per-tenant virtual time — the ``GET /stats/history`` window);
+        ``None``/0 disables the sampler.
+    :param history_capacity: retained history samples (ring buffer).
     """
 
     def __init__(
@@ -173,6 +180,8 @@ class JobService:
         watchdog=None,
         batch_max=1,
         batch_window=0.25,
+        history_interval=0.5,
+        history_capacity=600,
     ):
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if cluster is None:
@@ -258,6 +267,11 @@ class JobService:
             self.batcher = BatchFormer(
                 self, batch_max=batch_max, batch_window=batch_window
             )
+        self.history = None
+        if history_interval:
+            self.history = HistorySampler(
+                self, interval=history_interval, capacity=history_capacity
+            )
 
     # ------------------------------------------------------------------
     # datasets
@@ -341,6 +355,8 @@ class JobService:
             self.autoscaler.start()
         if self.watchdog is not None:
             self.watchdog.start()
+        if self.history is not None:
+            self.history.start()
         self.telemetry.event(
             "serve.start", category="serve", workers=self._num_workers,
             nodes=len(self.cluster.nodes),
@@ -374,6 +390,8 @@ class JobService:
             self.autoscaler.stop()
         if self.watchdog is not None:
             self.watchdog.stop()
+        if self.history is not None:
+            self.history.stop()
         drained = self.drain(timeout=timeout) if drain else False
         if not drain:
             with self._lock:
@@ -564,8 +582,25 @@ class JobService:
             self.telemetry.registry.counter("serve.failed", tenant=tenant).inc()
         else:
             self.telemetry.registry.counter("serve.cancelled", tenant=tenant).inc()
+        self._observe_latency(record, tenant)
         self._journal_finished(record, state, reason=reason)
         return True
+
+    def _observe_latency(self, record, tenant):
+        """Per-tenant latency histograms, recorded exactly once per job
+        at this single terminal seam. Phases the job never entered
+        (a cache hit has no queue wait or run) are simply absent."""
+        breakdown = record.span_breakdown()
+        for which, key in (
+            ("e2e", "end_to_end_seconds"),
+            ("queue_wait", "queue_wait_seconds"),
+            ("run", "run_seconds"),
+        ):
+            value = breakdown[key]
+            if value is not None:
+                self.telemetry.registry.histogram(
+                    "serve.latency.%s_seconds" % which, tenant=tenant
+                ).observe(value)
 
     def _journal_finished(self, record, state, reason=None):
         if self.journal is None:
@@ -732,7 +767,10 @@ class JobService:
             return record
 
         rejection = None
-        with self._lock:
+        with self.telemetry.span(
+            "admission", category="serve", job_id=record.job_id,
+            tenant=request.tenant,
+        ), self._lock:
             decision = self.admission.decide(
                 request,
                 dataset_bytes=dataset.nbytes,
@@ -1028,7 +1066,40 @@ class JobService:
         if self.watchdog is not None:
             doc["watchdog"] = self.watchdog.state()
         doc["jobs_executed"] = self.cluster.jobs_executed
+        doc["latency"] = self.latency_stats()
         return doc
+
+    def latency_stats(self):
+        """Per-tenant latency summaries (the ``/stats`` latency section).
+
+        Read from the same histograms ``/metrics`` exposes, so the two
+        surfaces always agree on the distribution's sum and count.
+        """
+        doc = {}
+        prefix = "serve.latency."
+        for metric in self.telemetry.registry.iter_metrics():
+            if metric.kind != "histogram" or not metric.name.startswith(prefix):
+                continue
+            which = metric.name[len(prefix):]
+            if which.endswith("_seconds"):
+                which = which[: -len("_seconds")]
+            tenant = dict(metric.labels).get("tenant", "")
+            doc.setdefault(tenant, {})[which] = metric.summary()
+        return doc
+
+    def job_trace(self, job_id):
+        """The assembled per-job Chrome trace document, or ``None``.
+
+        Contains the job's engine/driver spans (selected by the scoped
+        tracer's ``job_id``/``run_id`` stamps — batched jobs get the
+        shared run's spans plus only their own lane) and synthetic
+        queue-wait/run/fan-out lifecycle spans from the record's trace
+        marks.
+        """
+        record = self.get(job_id)
+        if record is None:
+            return None
+        return job_trace_document(self.telemetry, record)
 
     def healthy(self):
         with self._lock:
@@ -1077,6 +1148,7 @@ class JobService:
                 continue
             if record.state is not JobState.QUEUED:
                 continue  # cancelled while queued but before removal
+            record.mark_trace("dequeued")
             self._observe_queue_depth()
             if self.batcher is not None:
                 members = self.batcher.form(record)
@@ -1134,6 +1206,8 @@ class JobService:
         stats, and the watchdog keep seeing N independent jobs.
         """
         estimate = self.batcher.merged_estimate(members)
+        for record in members:
+            record.mark_trace("dequeued")  # companions left the queue too
         with self._capacity:
             for record in members:
                 self._running[record.job_id] = record
@@ -1247,6 +1321,7 @@ class JobService:
         run_id = "serve-batch-%s-x%d" % (leader.job_id, len(members))
         for record in members:
             record.run_id = run_id
+            record.trace_run_ids.add(run_id)
             self._journal_started(record, run_id, batch=True)
         self._crash_check("dispatch", job_id=leader.job_id, batch=len(members))
         driver = PregelixDriver(self.cluster, self.dfs)
@@ -1262,6 +1337,7 @@ class JobService:
             for lane, record in enumerate(members):
                 if record.state.terminal:
                     continue  # this lane was cancelled at a boundary
+                record.mark_trace("fanout_begin")
                 with self.telemetry.span(
                     "lane:%d" % lane, category="serve", run_id=run_id,
                     job_id=record.job_id,
@@ -1280,6 +1356,10 @@ class JobService:
                         "finishing", job_id=record.job_id, lane=lane
                     )
                     self._remember(record.request, dataset, job, doc)
+                    # End the fan-out phase before finalizing: _finalize
+                    # stamps "finished", and the synthetic fan-out span
+                    # must nest inside the run span, not straddle it.
+                    record.mark_trace("fanout_end")
                     self._finalize(record, JobState.SUCCEEDED)
                 self.telemetry.event(
                     "serve.batch.lane", category="serve",
@@ -1488,6 +1568,7 @@ class JobService:
         record.plan_signature = self._plan_signature(job)
         resume_from = record.resume_run_id
         run_id = resume_from or "serve-%s-a%d" % (record.job_id, record.attempts)
+        record.trace_run_ids.add(run_id)
         self._journal_started(record, run_id)
         self._crash_check("dispatch", job_id=record.job_id)
         driver = PregelixDriver(self.cluster, self.dfs)
@@ -1499,27 +1580,37 @@ class JobService:
         hook = self._boundary_hook_for(record)
         crashed = False
         try:
+            # Scoped tracer context: every span this run records — the
+            # driver's phases and supersteps, the engine's job and task
+            # spans, storage ops, even spans from pool worker threads —
+            # is stamped with this job's id, which is what keeps the
+            # shared session's trace separable per job.
+            job_context = self.telemetry.tracer.context(
+                job_id=record.job_id, tenant=request.tenant
+            )
             if resume_from:
-                outcome = driver.resume(
-                    job,
-                    dataset.path,
-                    run_id=run_id,
-                    output_path=output_path,
-                    parse_line=getattr(algorithm_module, "parse_line", None),
-                    format_record=getattr(algorithm_module, "format_record", None),
-                    boundary_hook=hook,
-                )
+                with job_context:
+                    outcome = driver.resume(
+                        job,
+                        dataset.path,
+                        run_id=run_id,
+                        output_path=output_path,
+                        parse_line=getattr(algorithm_module, "parse_line", None),
+                        format_record=getattr(algorithm_module, "format_record", None),
+                        boundary_hook=hook,
+                    )
                 record.resume_run_id = None
             else:
-                outcome = driver.run(
-                    job,
-                    dataset.path,
-                    output_path=output_path,
-                    parse_line=getattr(algorithm_module, "parse_line", None),
-                    format_record=getattr(algorithm_module, "format_record", None),
-                    run_id=run_id,
-                    boundary_hook=hook,
-                )
+                with job_context:
+                    outcome = driver.run(
+                        job,
+                        dataset.path,
+                        output_path=output_path,
+                        parse_line=getattr(algorithm_module, "parse_line", None),
+                        format_record=getattr(algorithm_module, "format_record", None),
+                        run_id=run_id,
+                        boundary_hook=hook,
+                    )
             record.run_id = outcome.run_id
             results = driver.read_output(output_path)
             record.result = result_document(

@@ -22,12 +22,15 @@ from repro.telemetry.export import (
     chrome_trace,
     chrome_trace_events,
     iter_records,
+    metric_record,
     print_summary,
     summary_lines,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.telemetry.prometheus import render_prometheus
 from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -39,6 +42,7 @@ from repro.telemetry.tracing import SimClock, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Event",
     "EventLog",
     "Gauge",
@@ -54,7 +58,9 @@ __all__ = [
     "chrome_trace_events",
     "ensure_telemetry",
     "iter_records",
+    "metric_record",
     "print_summary",
+    "render_prometheus",
     "summary_lines",
     "write_chrome_trace",
     "write_jsonl",

@@ -14,21 +14,38 @@ import json
 #: pid used for every emitted trace event (one simulated cluster process).
 TRACE_PID = 1
 
-
-def _timebase(telemetry):
-    """Earliest timestamp across spans and events (trace time zero)."""
-    candidates = [span.start for span in telemetry.tracer.finished_spans()]
-    candidates.extend(event.ts for event in telemetry.events)
-    return min(candidates) if candidates else 0.0
+#: Sentinel distinguishing "metric never collected" from a stored 0.
+_UNSEEN = object()
 
 
 def _us(ts, timebase):
     return int(round((ts - timebase) * 1e6))
 
 
-def chrome_trace_events(telemetry):
-    """The sorted ``traceEvents`` list for one telemetry session."""
-    timebase = _timebase(telemetry)
+#: tid the synthetic lifecycle spans render on (its own viewer row).
+LIFECYCLE_TID = 0
+
+
+def chrome_trace_events(telemetry, spans=None, events=None, synthetic=()):
+    """The sorted ``traceEvents`` list for one telemetry session.
+
+    :param spans: explicit span subset (default: every finished span) —
+        this is how the per-job trace endpoint reuses the exporter over
+        just one job's spans.
+    :param events: explicit event subset (default: the whole event log).
+    :param synthetic: extra duration events built from timestamps the
+        tracer never saw (queue-wait, run, fan-out lifecycle phases), as
+        dicts with ``name``/``start``/``end`` and optional ``cat``/
+        ``tid``/``args``; stamps share the spans' ``perf_counter``
+        timebase so they land on the same timeline.
+    """
+    spans = telemetry.tracer.finished_spans() if spans is None else list(spans)
+    events = list(telemetry.events) if events is None else list(events)
+    synthetic = list(synthetic)
+    candidates = [span.start for span in spans]
+    candidates.extend(event.ts for event in events)
+    candidates.extend(item["start"] for item in synthetic)
+    timebase = min(candidates) if candidates else 0.0
     raw = []
     # Thread-name metadata first, so viewers label per-thread rows with
     # the worker names parallel execution registered (hyx-worker-N).
@@ -42,7 +59,28 @@ def chrome_trace_events(telemetry):
         }
         for tid, name in sorted(telemetry.tracer.thread_names.items())
     ]
-    for span in telemetry.tracer.finished_spans():
+    if synthetic:
+        metadata.insert(0, {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": LIFECYCLE_TID,
+            "args": {"name": "job-lifecycle"},
+        })
+    for item in synthetic:
+        common = {
+            "name": item["name"],
+            "cat": item.get("cat", "lifecycle"),
+            "pid": TRACE_PID,
+            "tid": item.get("tid", LIFECYCLE_TID),
+        }
+        begin = dict(common, ph="B", ts=_us(item["start"], timebase))
+        if item.get("args"):
+            begin["args"] = dict(item["args"])
+        end = dict(common, ph="E", ts=_us(item["end"], timebase))
+        raw.append(((begin["ts"], item["start"], 0), begin))
+        raw.append(((end["ts"], item["end"], 1), end))
+    for span in spans:
         args = dict(span.args)
         if span.sim_duration is not None:
             args.setdefault("sim_seconds", span.sim_duration)
@@ -62,7 +100,7 @@ def chrome_trace_events(telemetry):
         # well-formed; a span's B precedes its own E even at an exact tie.
         raw.append(((begin["ts"], span.start, 0), begin))
         raw.append(((end["ts"], span.end, 1), end))
-    for event in telemetry.events:
+    for event in events:
         instant = {
             "name": event.name,
             "cat": event.category or "event",
@@ -101,6 +139,21 @@ def write_chrome_trace(telemetry, path):
 # ---------------------------------------------------------------------
 # record streams (JSONL / ring buffer)
 # ---------------------------------------------------------------------
+def metric_record(metric):
+    """One metric as a flat export record (shared by every record sink)."""
+    record = {
+        "type": "metric",
+        "kind": metric.kind,
+        "name": metric.name,
+        "value": metric.value,
+    }
+    if metric.labels:
+        record["labels"] = dict(metric.labels)
+    if metric.kind == "histogram":
+        record["summary"] = metric.summary()
+    return record
+
+
 def iter_records(telemetry):
     """Every span, event, and metric as one flat dict stream."""
     for span in telemetry.tracer.finished_spans():
@@ -108,17 +161,7 @@ def iter_records(telemetry):
     for event in telemetry.events:
         yield event.to_record()
     for metric in telemetry.registry.iter_metrics():
-        record = {
-            "type": "metric",
-            "kind": metric.kind,
-            "name": metric.name,
-            "value": metric.value,
-        }
-        if metric.labels:
-            record["labels"] = dict(metric.labels)
-        if metric.kind == "histogram":
-            record["summary"] = metric.summary()
-        yield record
+        yield metric_record(metric)
 
 
 def write_jsonl(telemetry, path_or_file):
@@ -139,17 +182,47 @@ def write_jsonl(telemetry, path_or_file):
 
 
 class RingBufferSink:
-    """Holds the last ``capacity`` exported records in memory."""
+    """Holds the last ``capacity`` exported records in memory.
+
+    ``collect`` is incremental: a span or event already collected is
+    never re-appended on a later call (high-water marks over the
+    tracer's and event log's monotone emit counters), and a metric is
+    re-appended only when it changed since the previous collect — so a
+    periodic collector sees each record once, not once per tick.
+    """
 
     def __init__(self, capacity=4096):
         from collections import deque
 
         self.capacity = int(capacity)
         self._records = deque(maxlen=self.capacity)
+        self._spans_seen = 0   # finished + dropped spans already collected
+        self._events_seen = 0  # emitted events already collected
+        self._metric_marks = {}
 
     def collect(self, telemetry):
-        for record in iter_records(telemetry):
-            self._records.append(record)
+        tracer = telemetry.tracer
+        spans = tracer.finished_spans()
+        dropped = tracer.dropped
+        for span in spans[max(self._spans_seen - dropped, 0):]:
+            self._records.append(span.to_record())
+        self._spans_seen = dropped + len(spans)
+        events = list(telemetry.events)
+        dropped = telemetry.events.dropped
+        for event in events[max(self._events_seen - dropped, 0):]:
+            self._records.append(event.to_record())
+        self._events_seen = dropped + len(events)
+        for metric in telemetry.registry.iter_metrics():
+            key = (metric.name, metric.labels)
+            mark = (
+                (metric.count, metric.total)
+                if metric.kind == "histogram"
+                else metric.value
+            )
+            if self._metric_marks.get(key, _UNSEEN) == mark:
+                continue
+            self._metric_marks[key] = mark
+            self._records.append(metric_record(metric))
         return len(self._records)
 
     def records(self):

@@ -13,7 +13,17 @@ adapters: when bound to a registry they mirror every update here, so the
 statistics collector and any exporter see one coherent metric space.
 """
 
+import bisect
 import threading
+
+#: Default histogram bucket upper bounds (seconds). Roughly exponential,
+#: spanning sub-millisecond operator work to minutes-long served jobs —
+#: the same scheme Prometheus client libraries default to, extended at
+#: the top end because graph jobs run long.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
 
 
 def _label_key(labels):
@@ -81,19 +91,30 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary: count, sum, min, max, mean.
+    """Streaming distribution summary with bucketed percentile estimates.
 
     ``total`` accumulates observations in arrival order, so a histogram
     fed the per-superstep elapsed times reproduces ``sum(list)`` exactly
     (bit-for-bit float equality) — which is what lets the statistics
     collector compute its summary from the registry without drift.
+    Bucket counting is additive bookkeeping on the side: it never
+    touches the exact-sum path.
+
+    :param buckets: increasing upper bounds (``le``-inclusive, Prometheus
+        style); an implicit +Inf bucket catches the overflow. ``None``
+        uses :data:`DEFAULT_BUCKETS`.
     """
 
     kind = "histogram"
 
-    def __init__(self, name, labels=()):
+    def __init__(self, name, labels=(), buckets=None):
         self.name = name
         self.labels = labels
+        bounds = tuple(float(b) for b in (DEFAULT_BUCKETS if buckets is None else buckets))
+        if not bounds or any(nxt <= prev for nxt, prev in zip(bounds[1:], bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.bucket_bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last slot = +Inf
         self.count = 0
         self.total = 0
         self.min = None
@@ -108,6 +129,7 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            self._bucket_counts[bisect.bisect_left(self.bucket_bounds, value)] += 1
 
     @property
     def mean(self):
@@ -118,14 +140,62 @@ class Histogram:
         """Histograms summarize to their total (for uniform snapshots)."""
         return self.total
 
+    def bucket_snapshot(self):
+        """One consistent ``(bounds, cumulative_counts, count, sum)``.
+
+        Taken under the histogram's lock so an exporter never sees a
+        ``_count`` that disagrees with the +Inf bucket or the ``_sum``.
+        ``cumulative_counts`` covers the finite bounds; the +Inf bucket
+        is ``count`` by construction.
+        """
+        with self._lock:
+            cumulative = []
+            running = 0
+            for observed in self._bucket_counts[:-1]:
+                running += observed
+                cumulative.append(running)
+            return self.bucket_bounds, cumulative, self.count, self.total
+
+    def percentile(self, quantile):
+        """Estimated value at ``quantile`` (0..1), or ``None`` when empty.
+
+        Prometheus-style: find the bucket the target rank falls in and
+        interpolate linearly inside it, clamped to the observed
+        ``[min, max]`` so a sparse histogram never reports a value
+        outside what it actually saw. Ranks past the last finite bound
+        report ``max``.
+        """
+        with self._lock:
+            return self._percentile_locked(quantile)
+
+    def _percentile_locked(self, quantile):
+        if not self.count:
+            return None
+        target = quantile * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bucket_bounds):
+            previous = cumulative
+            cumulative += self._bucket_counts[index]
+            if cumulative >= target and self._bucket_counts[index]:
+                lower = self.bucket_bounds[index - 1] if index else 0.0
+                fraction = (target - previous) / self._bucket_counts[index]
+                estimate = lower + (bound - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
     def summary(self):
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-        }
+        with self._lock:
+            count = self.count
+            return {
+                "count": count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / count if count else 0.0,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
 
     def __repr__(self):
         return "Histogram(%s: n=%d sum=%r)" % (
@@ -148,12 +218,12 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # creation
     # ------------------------------------------------------------------
-    def _get_or_create(self, kind, name, labels):
+    def _get_or_create(self, kind, name, labels, options=None):
         key = (name, _label_key(labels))
         with self._lock:
             metric = self._metrics.get(key)
             if metric is None:
-                metric = _KINDS[kind](name, key[1])
+                metric = _KINDS[kind](name, key[1], **(options or {}))
                 self._metrics[key] = metric
             elif metric.kind != kind:
                 raise TypeError(
@@ -168,8 +238,11 @@ class MetricsRegistry:
     def gauge(self, name, **labels):
         return self._get_or_create("gauge", name, labels)
 
-    def histogram(self, name, **labels):
-        return self._get_or_create("histogram", name, labels)
+    def histogram(self, name, buckets=None, **labels):
+        """``buckets`` (first caller wins) sets the bound scheme; it is
+        registry plumbing, never a label."""
+        options = {"buckets": buckets} if buckets is not None else None
+        return self._get_or_create("histogram", name, labels, options)
 
     def scoped(self, prefix):
         """A view of this registry that prefixes every name with ``prefix.``."""
@@ -192,9 +265,17 @@ class MetricsRegistry:
         return sorted(metrics, key=lambda m: (m.name, m.labels))
 
     def snapshot(self):
-        """Flat ``{"name{labels}": value}`` view of every metric."""
+        """Flat ``{"name{labels}": value}`` view of every metric.
+
+        Histograms expand to their full :meth:`Histogram.summary` dict
+        (count/sum/min/max/mean/percentiles) instead of collapsing to
+        the bare total, so ``/stats`` and JSONL exports keep the
+        distribution shape.
+        """
         return {
-            format_metric_key(metric.name, metric.labels): metric.value
+            format_metric_key(metric.name, metric.labels): (
+                metric.summary() if metric.kind == "histogram" else metric.value
+            )
             for metric in self.iter_metrics()
         }
 
@@ -221,8 +302,8 @@ class ScopedRegistry:
     def gauge(self, name, **labels):
         return self.registry.gauge(self._full(name), **labels)
 
-    def histogram(self, name, **labels):
-        return self.registry.histogram(self._full(name), **labels)
+    def histogram(self, name, buckets=None, **labels):
+        return self.registry.histogram(self._full(name), buckets=buckets, **labels)
 
     def scoped(self, prefix):
         return ScopedRegistry(self, prefix)

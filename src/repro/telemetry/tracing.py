@@ -145,10 +145,55 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    # ------------------------------------------------------------------
+    # scoped context: default args merged into every span on this thread
+    # ------------------------------------------------------------------
+    def _context_stack(self):
+        stack = getattr(self._local, "context", None)
+        if stack is None:
+            stack = self._local.context = []
+        return stack
+
+    def current_context(self):
+        """A copy of the merged context args active on this thread.
+
+        Thread pools capture this on the submitting thread and re-enter
+        it with :meth:`context` around each task, so worker-thread spans
+        carry the same correlation ids (``job_id``/``run_id``) as the
+        thread that dispatched them.
+        """
+        stack = self._context_stack()
+        return dict(stack[-1]) if stack else {}
+
+    @contextmanager
+    def context(self, **args):
+        """Merge ``args`` into every span started on this thread.
+
+        Contexts nest (inner wins per key) and a span's own explicit
+        args always win over the context. This is the scoped-tracer
+        mechanism: the serve layer enters ``context(job_id=...)`` around
+        a job's execution, the driver enters ``context(run_id=...)``,
+        and every engine/operator span below them is stamped with both
+        without any plumbing through the call graph.
+        """
+        stack = self._context_stack()
+        merged = dict(stack[-1]) if stack else {}
+        merged.update(args)
+        stack.append(merged)
+        try:
+            yield merged
+        finally:
+            stack.pop()
+
     def start(self, name, category="span", **args):
         """Open a span manually; pair with :meth:`finish`."""
         stack = self._stack()
         parent = stack[-1] if stack else None
+        context = getattr(self._local, "context", None)
+        if context and context[-1]:
+            merged = dict(context[-1])
+            merged.update(args)
+            args = merged
         span = Span(
             span_id=next(self._ids),
             name=name,

@@ -134,3 +134,86 @@ class TestThreads:
         with tracer.span("x", a=1) as span:
             span.annotate(b=2)
         assert span.args == {"a": 1, "b": 2}
+
+
+class TestScopedContext:
+    def test_context_stamps_spans(self):
+        tracer = Tracer()
+        with tracer.context(job_id="j1"):
+            with tracer.span("superstep:1"):
+                pass
+        with tracer.span("outside"):
+            pass
+        stamped, outside = tracer.finished_spans()
+        assert stamped.args == {"job_id": "j1"}
+        assert outside.args == {}
+
+    def test_contexts_nest_and_restore(self):
+        tracer = Tracer()
+        with tracer.context(job_id="j1", tenant="a"):
+            with tracer.context(run_id="r9", tenant="b"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("outer"):
+                pass
+        inner, outer = tracer.finished_spans()
+        # Inner context merges onto the enclosing one; inner wins per key.
+        assert inner.args == {"job_id": "j1", "run_id": "r9", "tenant": "b"}
+        # Popping the inner context restores the enclosing args exactly.
+        assert outer.args == {"job_id": "j1", "tenant": "a"}
+
+    def test_explicit_span_args_beat_context(self):
+        tracer = Tracer()
+        with tracer.context(run_id="ambient"):
+            with tracer.span("s", run_id="explicit", extra=1):
+                pass
+        (span,) = tracer.finished_spans()
+        assert span.args == {"run_id": "explicit", "extra": 1}
+
+    def test_current_context_is_a_copy(self):
+        tracer = Tracer()
+        assert tracer.current_context() == {}
+        with tracer.context(job_id="j1"):
+            captured = tracer.current_context()
+            captured["job_id"] = "mutated"
+            with tracer.span("s"):
+                pass
+        (span,) = tracer.finished_spans()
+        assert span.args == {"job_id": "j1"}  # mutation did not leak
+
+    def test_context_crosses_threads_via_capture(self):
+        # The thread-pool pattern: capture on the submitting thread,
+        # re-enter in the worker so its spans carry the same ids.
+        tracer = Tracer()
+
+        def worker(captured):
+            with tracer.context(**captured):
+                with tracer.span("worker-task"):
+                    pass
+
+        with tracer.context(job_id="j1", run_id="r1"):
+            thread = threading.Thread(
+                target=worker, args=(tracer.current_context(),)
+            )
+            thread.start()
+            thread.join()
+        (span,) = tracer.finished_spans()
+        assert span.args == {"job_id": "j1", "run_id": "r1"}
+        assert span.tid != threading.get_ident()
+
+    def test_context_is_thread_local(self):
+        tracer = Tracer()
+        results = {}
+
+        def worker():
+            with tracer.span("bare"):
+                pass
+            results["context"] = tracer.current_context()
+
+        with tracer.context(job_id="main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert results["context"] == {}
+        (span,) = tracer.finished_spans()
+        assert span.args == {}  # another thread's context never bleeds in

@@ -453,3 +453,49 @@ class TestServeCommand:
         args = build_parser().parse_args(["serve", "--dataset", "nodir"])
         with pytest.raises(ValueError):
             _parse_serve_options(args)
+
+    def test_top_action_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "top", "--url", "http://h:1", "--interval", "0.5",
+             "--count", "3"]
+        )
+        assert args.action == "top"
+        assert args.url == "http://h:1"
+        assert args.interval == 0.5
+        assert args.count == 3
+
+    def test_top_unreachable_service_fails_cleanly(self):
+        code, lines = run_cli(
+            ["serve", "top", "--url", "http://127.0.0.1:1", "--count", "1"]
+        )
+        assert code == 1
+        assert "unreachable" in "\n".join(lines)
+
+    def test_render_top_frame(self):
+        from repro.cli import _render_top, _sparkline
+
+        stats = {
+            "state": "serving", "uptime_seconds": 12.0, "nodes": 3,
+            "queue_depth": 2, "running": ["a"], "jobs_executed": 5,
+            "rejected": 1, "shed": 0, "jobs": {"succeeded": 4},
+            "result_cache": {"entries": 2, "hits": 3, "misses": 1},
+            "journal": {"appends": 9, "avg_append_seconds": 0.002},
+            "latency": {"alice": {"e2e": {
+                "count": 4, "p50": 0.1, "p95": 0.2, "p99": 0.3}}},
+        }
+        history = {"samples": [
+            {"queue_depth": d, "cache_hit_ratio": 0.5,
+             "journal_append_seconds": 0.001,
+             "virtual_time_by_tenant": {"alice": 1000.0}}
+            for d in (0, 1, 2)
+        ]}
+        text = "\n".join(_render_top("http://h:1", stats, history))
+        assert "serving" in text
+        assert "queue 2" in text
+        assert "75% hit" in text
+        assert "latency alice" in text and "p95" in text
+        assert "queue depth" in text and "now 2" in text
+        assert "vt=1000" in text
+        # Sparklines scale to the window peak and tolerate None gaps.
+        assert _sparkline([]) == ""
+        assert _sparkline([0.0, None, 1.0])[-1] == _sparkline([5, 10])[-1]
